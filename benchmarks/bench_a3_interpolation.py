@@ -1,0 +1,106 @@
+"""Ablation A3: how receivers bridge the network gap.
+
+Compares three receiver policies for displaying a remote avatar whose
+updates arrive at 20 Hz with jittery latency and loss:
+
+* ``latest`` — render the newest snapshot as-is (naive);
+* ``interpolation`` — render 100 ms in the past, blending snapshots;
+* ``dead_reckoning`` — extrapolate the newest snapshot to *now*.
+
+Expected shape: raw-latest shows the full network latency as position
+error; interpolation is smooth and accurate but adds its delay; dead
+reckoning trades accuracy for zero added delay (good between updates,
+spikes on direction changes).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, header
+from repro.avatar.interpolation import SnapshotBuffer
+from repro.avatar.prediction import DeadReckoner
+from repro.avatar.state import AvatarState
+from repro.simkit import Simulator
+from repro.workload.traces import WalkingMotion
+
+UPDATE_HZ = 20.0
+DURATION = 30.0
+LATENCY = 0.08
+JITTER = 0.02
+LOSS = 0.05
+
+
+def run_a3():
+    sim = Simulator(seed=31)
+    truth = WalkingMotion(
+        [(0, 0, 1.2), (6, 0, 1.2), (6, 4, 1.2), (0, 4, 1.2)], speed_m_per_s=1.4
+    )
+    rng = sim.rng.stream("net")
+    buffer = SnapshotBuffer(interpolation_delay=0.1)
+    reckoner = DeadReckoner()
+    latest_state = {"state": None}
+
+    def sender():
+        seq = 0
+        while True:
+            state = AvatarState("p", sim.now, truth(sim.now), seq=seq)
+            seq += 1
+            if rng.random() >= LOSS:
+                delay = LATENCY + float(rng.exponential(JITTER))
+
+                def deliver(state=state):
+                    buffer.push(state)
+                    reckoner.observe(state.time, state.pose)
+                    if (latest_state["state"] is None
+                            or state.time > latest_state["state"].time):
+                        latest_state["state"] = state
+
+                sim.call_later(delay, deliver)
+            yield sim.timeout(1.0 / UPDATE_HZ)
+
+    errors = {"latest": [], "interpolation": [], "dead_reckoning": []}
+
+    def prober():
+        while True:
+            yield sim.timeout(0.05)
+            true_pose = truth(sim.now)
+            if latest_state["state"] is not None:
+                errors["latest"].append(
+                    latest_state["state"].pose.distance_to(true_pose)
+                )
+            sample = buffer.sample(sim.now)
+            if sample is not None:
+                errors["interpolation"].append(sample.pose.distance_to(true_pose))
+            if reckoner.ready:
+                errors["dead_reckoning"].append(
+                    reckoner.predict(sim.now).distance_to(true_pose)
+                )
+
+    sim.process(sender())
+    sim.process(prober())
+    sim.run(until=DURATION)
+    return {
+        policy: (float(np.mean(vals)), float(np.percentile(vals, 95)))
+        for policy, vals in errors.items()
+    }
+
+
+def test_a3_interpolation(benchmark):
+    results = benchmark.pedantic(run_a3, rounds=1, iterations=1)
+
+    header("A3 — Receiver policies for remote avatars (walking at 1.4 m/s)")
+    emit(f"{'policy':<16} {'mean err':>10} {'p95 err':>10}")
+    for policy, (mean, p95) in results.items():
+        emit(f"{policy:<16} {mean * 100:>8.1f}cm {p95 * 100:>8.1f}cm")
+
+    latest_mean = results["latest"][0]
+    interp_mean = results["interpolation"][0]
+    reckon_mean = results["dead_reckoning"][0]
+    # Raw-latest carries the full network latency as error
+    # (1.4 m/s * ~100 ms  =>  ~14 cm floor).
+    assert latest_mean > 0.10
+    # Dead reckoning removes most of that latency error.
+    assert reckon_mean < 0.7 * latest_mean
+    # Interpolation's render-time delay is visible as divergence from
+    # "now" but the motion is smooth; it should beat raw-latest too
+    # because its render-time target is bracketed, not stale.
+    assert interp_mean < latest_mean * 1.5

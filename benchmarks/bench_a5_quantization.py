@@ -1,0 +1,70 @@
+"""Ablation A5: pose quantization — wire size vs replication error.
+
+The pose stream's bit depth trades bandwidth against precision.  Sweeps
+the encoding from coarse to fine and reports bytes per update, position
+error, and orientation error.  The useful operating point is where the
+quantization error falls below the tracker's own noise (~2-4 mm) —
+finer bits buy nothing.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, header
+from repro.sensing.pose import Pose, quat_from_axis_angle
+from repro.sensing.quantize import PoseQuantizer, QuantizationConfig
+
+CONFIGS = (
+    ("8b/4b", QuantizationConfig(position_bits=8, quat_bits=4)),
+    ("12b/7b", QuantizationConfig(position_bits=12, quat_bits=7)),
+    ("16b/10b", QuantizationConfig(position_bits=16, quat_bits=10)),
+    ("20b/12b", QuantizationConfig(position_bits=20, quat_bits=12)),
+    ("24b/14b", QuantizationConfig(position_bits=24, quat_bits=14)),
+)
+TRACKER_NOISE_M = 0.002
+UPDATE_HZ = 20.0
+
+
+def run_a5():
+    rng = np.random.default_rng(51)
+    poses = [
+        Pose(
+            rng.uniform(-10, 10, size=3),
+            quat_from_axis_angle(rng.normal(size=3), rng.uniform(0, np.pi)),
+        )
+        for _ in range(300)
+    ]
+    table = {}
+    for label, config in CONFIGS:
+        quantizer = PoseQuantizer(config)
+        pos_errors, ang_errors = [], []
+        for pose in poses:
+            pos_err, ang_err = quantizer.error(pose)
+            pos_errors.append(pos_err)
+            ang_errors.append(ang_err)
+        table[label] = (
+            quantizer.update_bytes,
+            float(np.mean(pos_errors)),
+            float(np.degrees(np.mean(ang_errors))),
+        )
+    return table
+
+
+def test_a5_quantization(benchmark):
+    table = benchmark.pedantic(run_a5, rounds=1, iterations=1)
+
+    header("A5 — Pose quantization: bytes per update vs replication error")
+    emit(f"{'config':<10} {'bytes':>6} {'kbps@20Hz':>10} {'pos err':>10} "
+         f"{'angle err':>10}")
+    for label, (size, pos_err, ang_deg) in table.items():
+        emit(f"{label:<10} {size:>6d} {size * 8 * UPDATE_HZ / 1e3:>10.1f} "
+             f"{pos_err * 1000:>8.2f}mm {ang_deg:>9.3f}°")
+
+    sizes = [row[0] for row in table.values()]
+    pos_errors = [row[1] for row in table.values()]
+    # Finer encodings cost more and err less, monotonically.
+    assert sizes == sorted(sizes)
+    assert pos_errors == sorted(pos_errors, reverse=True)
+    # The 16/10 point is already below tracker noise — the sweet spot.
+    assert table["16b/10b"][1] < TRACKER_NOISE_M
+    # The coarse point is unusable (centimetres of snap).
+    assert table["8b/4b"][1] > 0.02

@@ -1,0 +1,70 @@
+"""Ablation A6: client-side prediction for the local avatar.
+
+Without prediction, a participant's own avatar moves one round trip late —
+embodiment feels like molasses exactly when the WAN is long (the remote
+users regional servers exist for).  With prediction + reconciliation the
+self-avatar responds instantly; the residual cost is the correction error
+when the server disagrees.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, header
+from repro.sync.prediction import (
+    PredictedAvatar,
+    prediction_error_without_reconciliation,
+)
+
+RTTS = (0.02, 0.05, 0.1, 0.2, 0.4)
+WALK_SPEED = 1.4  # m/s
+
+
+def run_a6():
+    rng = np.random.default_rng(61)
+    table = {}
+    for rtt in RTTS:
+        # Naive: self-avatar lags by one RTT of motion.
+        naive = prediction_error_without_reconciliation(
+            [WALK_SPEED, 0.0, 0.0], rtt
+        )
+        # Predicted: walk for 10 s at 20 Hz inputs; the server echoes each
+        # input one RTT later with occasional 5 cm disagreements.
+        avatar = PredictedAvatar(np.zeros(3), smoothing_window_s=0.2)
+        inputs = []
+        corrections = []
+        dt = 0.05
+        server_pos = np.zeros(3)
+        for step in range(200):
+            move = avatar.apply_input([WALK_SPEED, 0.0, 0.0], dt)
+            inputs.append(move)
+            # The echo for the input issued one RTT ago arrives now.
+            lag_steps = int(rtt / dt)
+            if step >= lag_steps:
+                acked = inputs[step - lag_steps]
+                server_pos = server_pos + acked.velocity * acked.dt
+                jitter = (
+                    rng.normal(0.0, 0.02, size=3)
+                    if rng.random() < 0.1 else np.zeros(3)
+                )
+                corrections.append(
+                    avatar.reconcile(server_pos + jitter, acked.seq)
+                )
+        table[rtt] = (naive, float(np.mean(corrections)))
+    return table
+
+
+def test_a6_prediction(benchmark):
+    table = benchmark(run_a6)
+
+    header("A6 — Self-avatar responsiveness: naive echo vs prediction")
+    emit(f"{'RTT ms':>8} {'naive self-lag':>15} {'prediction residual':>20}")
+    for rtt, (naive, residual) in table.items():
+        emit(f"{rtt * 1e3:>8.0f} {naive * 100:>13.1f}cm {residual * 100:>18.2f}cm")
+
+    for rtt, (naive, residual) in table.items():
+        # Prediction's residual correction is far below the naive lag.
+        assert residual < 0.5 * naive
+    # Naive lag grows linearly with RTT; the residual does not.
+    naive_growth = table[RTTS[-1]][0] / table[RTTS[0]][0]
+    residual_growth = (table[RTTS[-1]][1] + 1e-9) / (table[RTTS[0]][1] + 1e-9)
+    assert naive_growth > 5 * residual_growth

@@ -1,0 +1,40 @@
+"""Experiment C1a (Section 3.3): interaction latency vs task performance.
+
+"In highly interactive applications, users start to notice latency above
+100 ms.  Besides, a latency below 100 ms still affects user performance
+despite less noticeable" (Claypool & Claypool).  Sweeps injected RTT and
+reports normalized task performance, degradation, and noticeability.
+"""
+
+from benchmarks.conftest import emit, header
+from repro.metrics.qoe import InteractionQoeModel
+
+RTTS_MS = (0, 25, 50, 75, 100, 150, 200, 300, 500)
+
+
+def run_c1a():
+    model = InteractionQoeModel()
+    return {
+        rtt: (model.performance(rtt), model.degradation(rtt), model.is_noticeable(rtt))
+        for rtt in RTTS_MS
+    }
+
+
+def test_c1a_latency_threshold(benchmark):
+    series = benchmark(run_c1a)
+
+    header("C1a — Interaction latency vs task performance (Claypool shape)")
+    emit(f"{'RTT ms':>8} {'performance':>12} {'degradation':>12} {'noticeable':>11}")
+    for rtt, (performance, degradation, noticeable) in series.items():
+        emit(f"{rtt:>8} {performance:>12.3f} {degradation:>12.3f} "
+             f"{str(noticeable):>11}")
+
+    performances = [series[rtt][0] for rtt in RTTS_MS]
+    # Monotone decreasing.
+    assert all(a >= b for a, b in zip(performances, performances[1:]))
+    # Below 100 ms: measurable but modest degradation (<20%).
+    assert 0.0 < series[75][1] < 0.20
+    # The noticeability flag flips right above 100 ms.
+    assert not series[100][2] and series[150][2]
+    # Hundreds of ms: performance collapses below 40%.
+    assert series[300][0] < 0.4

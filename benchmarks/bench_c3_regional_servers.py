@@ -1,0 +1,47 @@
+"""Experiment C3b (Section 3.3): regional servers for worldwide users.
+
+"[Users] located either far away, or on a poorly interconnected network
+... present a round-trip latency in the order of the hundreds of
+milliseconds.  Most gaming platforms solve this issue by setting up
+regional servers."  Sweeps the number of regional servers for a worldwide
+population and reports the RTT distribution.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, header
+from repro.cloud.regions import plan_regions, single_server_plan
+from repro.workload.population import sample_worldwide
+
+POPULATION = 1500
+KS = (1, 2, 4, 8)
+
+
+def run_c3b():
+    population = sample_worldwide(POPULATION, np.random.default_rng(0))
+    plans = {"single (HK)": single_server_plan(population, "hkust_cwb")}
+    for k in KS:
+        plans[f"k={k}"] = plan_regions(population, k=k)
+    return plans
+
+
+def test_c3b_regional_servers(benchmark):
+    plans = benchmark.pedantic(run_c3b, rounds=1, iterations=1)
+
+    header(f"C3b — Regional servers for {POPULATION} worldwide users")
+    emit(f"{'placement':<12} {'mean RTT':>9} {'p95 RTT':>9} {'>100ms':>8}  sites")
+    for label, plan in plans.items():
+        emit(f"{label:<12} {plan.mean_rtt() * 1e3:>7.1f}ms "
+             f"{plan.p95_rtt() * 1e3:>7.1f}ms "
+             f"{plan.fraction_above(0.100):>8.1%}  {sorted(plan.sites)}")
+
+    single = plans["single (HK)"]
+    # The paper's premise: one server leaves a worldwide tail in the
+    # hundreds of milliseconds.
+    assert single.p95_rtt() > 0.150
+    assert single.fraction_above(0.100) > 0.15
+    # Regional servers collapse the tail monotonically.
+    means = [plans[f"k={k}"].mean_rtt() for k in KS]
+    assert all(a >= b - 1e-12 for a, b in zip(means, means[1:]))
+    assert plans["k=8"].fraction_above(0.100) < 0.05
+    assert plans["k=4"].p95_rtt() < single.p95_rtt() * 0.7

@@ -1,0 +1,87 @@
+"""Experiment C3a (Section 3.3): synchronizing many entities.
+
+"Developing such a classroom raises significant challenges related to the
+synchronization of a large number of entities within a single digital
+space."  Sweeps the class size and measures tick compute, achieved tick
+rate, and per-client downstream bandwidth — with interest management on
+(area-of-interest + nearest-k) vs off (broadcast).
+
+Expected shape: broadcast bandwidth grows linearly with N per client
+(quadratic in total) while interest-managed bandwidth flattens at the
+nearest-k cap; the server's tick saturates without filtering first.
+"""
+
+from benchmarks.conftest import emit, header
+from repro.avatar.state import AvatarState
+from repro.simkit import Simulator
+from repro.sync.interest import BroadcastInterest, InterestConfig, InterestManager
+from repro.sync.protocol import ClientUpdate
+from repro.sync.server import SyncServer
+from repro.workload.traces import SeatedMotion
+
+SIZES = (10, 50, 150, 400)
+DURATION = 2.0
+
+
+def run_one(n: int, managed: bool):
+    sim = Simulator(seed=3)
+    interest = (
+        InterestManager(InterestConfig(radius_m=8.0, max_entities=30))
+        if managed else BroadcastInterest()
+    )
+    server = SyncServer(sim, tick_rate_hz=20.0, interest=interest)
+    traces = [
+        SeatedMotion((i % 25 * 1.2, i // 25 * 1.5, 1.2), sim.rng.stream(f"t{i}"))
+        for i in range(n)
+    ]
+    for i in range(n):
+        server.subscribe(f"u{i}", lambda snapshot: None)
+
+    def driver():
+        seqs = [0] * n
+        while True:
+            for i, trace in enumerate(traces):
+                state = AvatarState(f"u{i}", sim.now, trace(sim.now), seq=seqs[i])
+                server.ingest(ClientUpdate(f"u{i}", state, seqs[i]))
+                seqs[i] += 1
+            yield sim.timeout(0.05)
+
+    sim.process(driver())
+    server.run(duration=DURATION)
+    sim.run(until=DURATION)
+    tick_cost = server.metrics.tracker("tick_cost").summary()
+    return {
+        "tick_rate": server.achieved_tick_rate(DURATION),
+        "tick_cost_ms": tick_cost.mean * 1e3,
+        "egress_kbps": server.egress_bytes_per_client_s(DURATION) * 8 / 1e3,
+    }
+
+
+def run_c3a():
+    return {
+        (n, managed): run_one(n, managed)
+        for n in SIZES
+        for managed in (False, True)
+    }
+
+
+def test_c3a_scale_sync(benchmark):
+    results = benchmark.pedantic(run_c3a, rounds=1, iterations=1)
+
+    header("C3a — Sync scaling: broadcast vs interest management")
+    emit(f"{'N':>5} {'mode':<10} {'tick Hz':>8} {'tick ms':>8} "
+         f"{'per-client kbps':>16}")
+    for (n, managed), row in results.items():
+        mode = "interest" if managed else "broadcast"
+        emit(f"{n:>5} {mode:<10} {row['tick_rate']:>8.1f} "
+             f"{row['tick_cost_ms']:>8.2f} {row['egress_kbps']:>16.1f}")
+
+    # Broadcast per-client bandwidth keeps growing with N...
+    broadcast = [results[(n, False)]["egress_kbps"] for n in SIZES]
+    assert broadcast[-1] > 4 * broadcast[0]
+    # ...while interest-managed bandwidth flattens at the cap.
+    managed = [results[(n, True)]["egress_kbps"] for n in SIZES]
+    assert managed[-1] < 0.35 * broadcast[-1]
+    # Tick cost grows with N in both modes.
+    assert (results[(SIZES[-1], True)]["tick_cost_ms"]
+            > results[(SIZES[0], True)]["tick_cost_ms"])

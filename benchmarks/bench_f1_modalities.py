@@ -1,0 +1,67 @@
+"""Experiment F1 (Figure 1 / Section 2): teaching-modality comparison.
+
+Regenerates the paper's qualitative landscape as measured numbers: the
+same lecture and cohort under video conferencing, AR classroom, VR-only,
+and the blended Metaverse classroom — scored on presence, attention,
+interactions, cybersickness, nonverbal bandwidth, and engagement.
+
+Expected shape (paper, Sections 2-3): the blended classroom dominates on
+engagement and presence; video conferencing has remote access but the
+lowest presence/engagement; AR lacks remote access; VR lacks physical
+co-presence.
+"""
+
+import math
+
+import numpy as np
+
+from benchmarks.conftest import emit, header
+from repro.avatar.lod import level_by_name
+from repro.baselines.profiles import MODALITY_PROFILES
+from repro.core.session import ClassSession, sample_traits
+from repro.hci.fov import nonverbal_bandwidth_bps
+from repro.workload.lecture import standard_script
+
+
+def run_f1():
+    script = standard_script("lecture", duration_s=3600.0)
+    reports = {}
+    for name, profile in MODALITY_PROFILES.items():
+        rng = np.random.default_rng(2022)
+        session = ClassSession(script, profile, sample_traits(40, rng), rng)
+        reports[name] = session.run()
+    return reports
+
+
+def test_f1_modalities(benchmark):
+    reports = benchmark.pedantic(run_f1, rounds=1, iterations=1)
+
+    header("F1 — Teaching modality comparison (lecture, 40 students, 60 min)")
+    emit(f"{'modality':<20} {'remote':>6} {'co-pres':>7} {'presence':>8} "
+         f"{'attention':>9} {'interact':>8} {'SSQ':>6} {'nonverbal':>10} "
+         f"{'engagement':>10}")
+    for name, report in sorted(reports.items(), key=lambda kv: -kv[1].engagement):
+        profile = MODALITY_PROFILES[name]
+        lod = profile.avatar_lod if profile.avatar_lod else level_by_name("billboard")
+        nonverbal = nonverbal_bandwidth_bps(
+            profile.display, lod, profile.expression_accuracy
+        )
+        emit(f"{name:<20} {str(profile.remote_access):>6} "
+             f"{str(profile.physical_copresence):>7} {report.presence:8.3f} "
+             f"{report.attention_fraction:9.3f} "
+             f"{report.interactions_per_participant:8.1f} "
+             f"{report.mean_ssq_total:6.1f} {nonverbal:10.3f} "
+             f"{report.engagement:10.3f}")
+
+    blended = reports["blended_metaverse"]
+    zoom = reports["video_conference"]
+    ar = reports["ar_classroom"]
+    vr = reports["vr_remote"]
+    # The paper's qualitative claims, as assertions:
+    assert blended.engagement == max(r.engagement for r in reports.values())
+    assert blended.presence > vr.presence
+    assert zoom.engagement == min(r.engagement for r in reports.values())
+    assert zoom.mean_ssq_total == 0.0 and vr.mean_ssq_total > 0.0
+    assert not MODALITY_PROFILES["ar_classroom"].remote_access
+    assert not MODALITY_PROFILES["vr_remote"].physical_copresence
+    assert ar.attention_fraction > zoom.attention_fraction

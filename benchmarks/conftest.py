@@ -1,0 +1,32 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_*.py`` regenerates one experiment from DESIGN.md's
+per-experiment index and prints its series through :func:`emit`, which
+suspends pytest's output capture so the tables appear in ``pytest
+benchmarks/ --benchmark-only`` output (and in ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+_CAPTURE_MANAGER = None
+
+
+def pytest_configure(config):
+    global _CAPTURE_MANAGER
+    _CAPTURE_MANAGER = config.pluginmanager.getplugin("capturemanager")
+
+
+def emit(text: str = "") -> None:
+    """Print, bypassing pytest's capture so experiment tables are visible."""
+    if _CAPTURE_MANAGER is not None:
+        with _CAPTURE_MANAGER.global_and_fixture_disabled():
+            print(text, flush=True)
+    else:
+        print(text, flush=True)
+
+
+def header(title: str) -> None:
+    emit()
+    emit("=" * 72)
+    emit(title)
+    emit("=" * 72)

@@ -1,0 +1,67 @@
+"""End-to-end learning outcomes: teach, quiz, and re-test four weeks later.
+
+Ties the platform's feature (i) — "learning assessment in the Metaverse" —
+to the rest of the pipeline: the same cohort takes the same course under
+each teaching modality; their attention during class (from the behavioral
+model) gates quiz performance, and the retention model predicts the
+delayed re-test, reproducing the Brelsford effect the paper cites (VR-lab
+learners retain better than lecture learners weeks later).
+
+Run:  python examples/assessed_course.py
+"""
+
+import numpy as np
+
+from repro.baselines.profiles import MODALITY_PROFILES
+from repro.core.assessment import AssessmentEngine, QuizItem, RetentionModel
+from repro.core.session import ClassSession, sample_traits
+from repro.workload.lecture import standard_script
+
+
+def build_quiz(n_items=12):
+    return [
+        QuizItem(f"q{i}", difficulty=-1.5 + 3.0 * i / (n_items - 1))
+        for i in range(n_items)
+    ]
+
+
+def main() -> None:
+    script = standard_script("tutorial", duration_s=3600.0)
+    retention = RetentionModel()
+    n_students = 30
+
+    print(f"{'modality':<20} {'attention':>9} {'quiz now':>9} "
+          f"{'gain':>6} {'4-week retention':>17}")
+    rows = []
+    for name, profile in MODALITY_PROFILES.items():
+        rng = np.random.default_rng(99)   # identical cohort every time
+        session = ClassSession(script, profile, sample_traits(n_students, rng), rng)
+        report = session.run()
+
+        engine = AssessmentEngine(build_quiz(), rng)
+        abilities = rng.normal(0.5, 0.8, size=n_students)
+        for i, ability in enumerate(abilities):
+            engine.administer(
+                f"s{i}", float(ability),
+                attention_fraction=report.attention_fraction,
+            )
+        quiz_now = engine.class_mean_score()
+
+        # The blended/AR/VR rooms teach hands-on; a video call does not.
+        hands_on = profile.physical_copresence or profile.immersion > 0.7
+        gain = retention.immediate_gain(report.engagement, hands_on)
+        recall_4wk = retention.retention(report.engagement, weeks=4.0,
+                                         hands_on=hands_on)
+        rows.append((name, report.attention_fraction, quiz_now, gain, recall_4wk))
+        print(f"{name:<20} {report.attention_fraction:>9.3f} {quiz_now:>9.3f} "
+              f"{gain:>6.3f} {recall_4wk:>17.3f}")
+
+    best = max(rows, key=lambda row: row[4])
+    worst = min(rows, key=lambda row: row[4])
+    print(f"\nFour weeks later, {best[0]} retains "
+          f"{best[4] / worst[4]:.1f}x more than {worst[0]} "
+          f"(the Brelsford effect the paper cites).")
+
+
+if __name__ == "__main__":
+    main()

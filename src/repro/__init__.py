@@ -1,0 +1,46 @@
+"""Virtual-physical blended Metaverse classroom — full-system simulation.
+
+A reproduction of the ICDCS 2022 blueprint "Re-shaping Post-COVID-19
+Teaching and Learning: A Blueprint of Virtual-Physical Blended Classrooms
+in the Metaverse Era" (Wang, Lee, Braud, Hui) as a working system:
+discrete-event simulation of two MR campuses plus a cloud VR classroom,
+with the sensing, networking, synchronization, rendering, HCI, and
+cybersickness substrates the architecture depends on.
+
+Quick start::
+
+    from repro import Simulator, build_unit_case
+
+    sim = Simulator(seed=42)
+    deployment = build_unit_case(sim, students_per_campus=6, remote_per_city=2)
+    deployment.run(duration=10.0)
+    report = deployment.report()
+    print(report.cross_campus_visibility())   # 1.0 — everyone replicated
+"""
+
+from repro.core import (
+    ClassSession,
+    DeploymentReport,
+    MetaverseClassroom,
+    Participant,
+    PhysicalClassroom,
+    Role,
+    SessionReport,
+    build_unit_case,
+)
+from repro.simkit import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClassSession",
+    "DeploymentReport",
+    "MetaverseClassroom",
+    "Participant",
+    "PhysicalClassroom",
+    "Role",
+    "SessionReport",
+    "Simulator",
+    "build_unit_case",
+    "__version__",
+]

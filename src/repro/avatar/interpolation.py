@@ -1,0 +1,95 @@
+"""Snapshot interpolation of remote avatar streams.
+
+Receivers render a remote avatar slightly in the past (the *interpolation
+delay*) so there are usually two snapshots to blend between; only when the
+stream stalls does the buffer extrapolate, and then only up to a clamp.
+This is the standard technique in networked virtual environments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.avatar.state import AvatarState
+
+
+class SnapshotBuffer:
+    """Time-ordered buffer of :class:`AvatarState` snapshots."""
+
+    def __init__(
+        self,
+        interpolation_delay: float = 0.1,
+        max_extrapolation: float = 0.25,
+        capacity: int = 64,
+    ):
+        if interpolation_delay < 0:
+            raise ValueError("interpolation delay must be >= 0")
+        if max_extrapolation < 0:
+            raise ValueError("max extrapolation must be >= 0")
+        self.interpolation_delay = float(interpolation_delay)
+        self.max_extrapolation = float(max_extrapolation)
+        self._snapshots: Deque[AvatarState] = deque(maxlen=capacity)
+        self.stale_reads = 0
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    @property
+    def latest(self) -> Optional[AvatarState]:
+        return self._snapshots[-1] if self._snapshots else None
+
+    def push(self, state: AvatarState) -> None:
+        """Insert a snapshot; out-of-order (older than newest) is dropped."""
+        if self._snapshots and state.time <= self._snapshots[-1].time:
+            return
+        self._snapshots.append(state)
+
+    def sample(self, now: float) -> Optional[AvatarState]:
+        """The state to *render* at wall time ``now``.
+
+        Renders at ``now - interpolation_delay``; interpolates when
+        bracketed, extrapolates (clamped) when the newest snapshot is older
+        than the render time, returns the oldest when the buffer only has
+        newer data, and None when empty.
+        """
+        if not self._snapshots:
+            return None
+        render_time = now - self.interpolation_delay
+        snaps = self._snapshots
+        if render_time <= snaps[0].time:
+            return snaps[0]
+        if render_time >= snaps[-1].time:
+            return self._extrapolate(render_time)
+        # Find the bracketing pair (linear scan; buffers are small).
+        for older, newer in zip(snaps, list(snaps)[1:]):
+            if older.time <= render_time <= newer.time:
+                span = newer.time - older.time
+                t = 0.0 if span <= 0 else (render_time - older.time) / span
+                blended = older.copy()
+                blended.time = render_time
+                blended.pose = older.pose.interpolate(newer.pose, t)
+                return blended
+        return snaps[-1]  # pragma: no cover - unreachable given the guards
+
+    def _extrapolate(self, render_time: float) -> AvatarState:
+        newest = self._snapshots[-1]
+        gap = render_time - newest.time
+        if gap <= 0 or len(self._snapshots) < 2:
+            return newest
+        self.stale_reads += 1
+        gap = min(gap, self.max_extrapolation)
+        previous = self._snapshots[-2]
+        dt = newest.time - previous.time
+        state = newest.copy()
+        if dt > 0:
+            velocity = (newest.pose.position - previous.pose.position) / dt
+            state.pose.position = newest.pose.position + velocity * gap
+        state.time = newest.time + gap
+        return state
+
+    def staleness(self, now: float) -> float:
+        """Age of the newest snapshot relative to ``now`` (seconds)."""
+        if not self._snapshots:
+            return float("inf")
+        return max(0.0, now - self._snapshots[-1].time)

@@ -1,0 +1,101 @@
+"""Pose retargeting into a different seat.
+
+Figure 3: the receiving edge server "identifies the vacant seats to display
+virtual avatars in the MR classroom" and "corrects the pose to match the
+new position of the avatar".  Retargeting maps the source-classroom pose
+into the target seat's frame and, crucially, re-aims the head so that
+*attention targets* (the lecturer, the whiteboard) are preserved rather
+than raw gaze directions, which would point at a wall after relocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.avatar.state import AvatarState
+from repro.sensing.pose import Pose, quat_multiply, quat_rotate, yaw_quat
+
+
+@dataclass(frozen=True)
+class SeatTransform:
+    """Mapping from a source seat frame to a target seat frame."""
+
+    source_anchor: np.ndarray
+    target_anchor: np.ndarray
+    yaw_delta: float  # radians to rotate about vertical
+
+    def apply_position(self, position: np.ndarray) -> np.ndarray:
+        local = np.asarray(position, dtype=float) - self.source_anchor
+        rotated = quat_rotate(yaw_quat(self.yaw_delta), local)
+        return rotated + self.target_anchor
+
+    def apply_pose(self, pose: Pose) -> Pose:
+        position = self.apply_position(pose.position)
+        orientation = quat_multiply(yaw_quat(self.yaw_delta), pose.orientation)
+        return Pose(position, orientation)
+
+
+def gaze_correction_yaw(
+    new_position: np.ndarray,
+    carried_orientation_yaw: float,
+    attention_target: np.ndarray,
+) -> float:
+    """Extra yaw so the avatar still faces its attention target.
+
+    Returns the yaw delta to add to the carried orientation so the avatar
+    at ``new_position`` looks at ``attention_target``.
+    """
+    to_target = np.asarray(attention_target, dtype=float) - np.asarray(new_position, dtype=float)
+    desired_yaw = float(np.arctan2(to_target[1], to_target[0]))
+    delta = desired_yaw - carried_orientation_yaw
+    # Wrap to (-pi, pi].
+    return float(np.arctan2(np.sin(delta), np.cos(delta)))
+
+
+def orientation_yaw(pose: Pose) -> float:
+    """Yaw of the pose's forward (+x) axis in the horizontal plane."""
+    forward = quat_rotate(pose.orientation, np.array([1.0, 0.0, 0.0]))
+    return float(np.arctan2(forward[1], forward[0]))
+
+
+def retarget_state(
+    state: AvatarState,
+    transform: SeatTransform,
+    attention_target: Optional[np.ndarray] = None,
+) -> AvatarState:
+    """Relocate an avatar state into a new seat.
+
+    Applies the seat transform and, when ``attention_target`` is given,
+    adds a gaze-preserving yaw correction so social signals (who is being
+    looked at) survive the move between classrooms.
+    """
+    retargeted = state.copy()
+    retargeted.pose = transform.apply_pose(state.pose)
+    if attention_target is not None:
+        carried_yaw = orientation_yaw(retargeted.pose)
+        correction = gaze_correction_yaw(
+            retargeted.pose.position, carried_yaw, attention_target
+        )
+        retargeted.pose = Pose(
+            retargeted.pose.position,
+            quat_multiply(yaw_quat(correction), retargeted.pose.orientation),
+        )
+    retargeted.meta["retargeted"] = True
+    return retargeted
+
+
+def retarget_error(
+    original: AvatarState,
+    retargeted: AvatarState,
+    transform: SeatTransform,
+) -> float:
+    """Residual position error after undoing the seat transform (metres).
+
+    Zero for a pure rigid relocation; nonzero when clamping or gaze
+    correction displaced the avatar relative to the ideal mapping.
+    """
+    ideal = transform.apply_position(original.pose.position)
+    return float(np.linalg.norm(retargeted.pose.position - ideal))

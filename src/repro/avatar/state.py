@@ -1,0 +1,62 @@
+"""The replicated avatar state and its wire-size model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.sensing.expression import N_CHANNELS
+from repro.sensing.pose import Pose
+from repro.sensing.quantize import QuantizationConfig
+
+
+@dataclass
+class AvatarState:
+    """Everything a remote site needs to draw one participant.
+
+    ``joint_rotations`` is optional: low-fidelity avatars (or low LOD
+    levels) replicate only the root pose and synthesize body posture
+    locally.
+    """
+
+    participant_id: str
+    time: float
+    pose: Pose
+    joint_rotations: Optional[np.ndarray] = None
+    expression: Optional[np.ndarray] = None
+    seq: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def wire_bytes(self, config: QuantizationConfig = QuantizationConfig()) -> int:
+        """Encoded size of this update.
+
+        Header (id + seq + timestamp) + quantized root pose + smallest-three
+        encoded joint quaternions + 8-bit expression channels.
+        """
+        size = 16  # participant id hash (8) + seq (4) + time delta (4)
+        size += config.pose_bytes
+        if self.joint_rotations is not None:
+            per_joint_bits = 2 + 3 * config.quat_bits
+            size += (len(self.joint_rotations) * per_joint_bits + 7) // 8
+        if self.expression is not None:
+            size += N_CHANNELS
+        return size
+
+    def copy(self) -> "AvatarState":
+        return AvatarState(
+            participant_id=self.participant_id,
+            time=self.time,
+            pose=self.pose.copy(),
+            joint_rotations=(
+                None if self.joint_rotations is None else self.joint_rotations.copy()
+            ),
+            expression=None if self.expression is None else self.expression.copy(),
+            seq=self.seq,
+            meta=dict(self.meta),
+        )
+
+    def position_error(self, other: "AvatarState") -> float:
+        """Root position divergence from another state (metres)."""
+        return self.pose.distance_to(other.pose)

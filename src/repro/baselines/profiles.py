@@ -1,0 +1,124 @@
+"""Comparable profiles of the four teaching modalities.
+
+Each profile pins the factor values that the paper's survey attributes to
+the modality; the F1 experiment *derives* presence, engagement, nonverbal
+bandwidth and attention from them using the shared models — the ordering
+is an output, not an input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.avatar.lod import LodLevel, level_by_name
+from repro.hci.presence import PresenceFactors
+from repro.render.display import DisplayModel
+
+
+@dataclass(frozen=True)
+class ModalityProfile:
+    """Everything the comparison models need about one modality."""
+
+    name: str
+    presence: PresenceFactors
+    immersion: float            # [0, 1] — 2D window vs full surround
+    interactivity: float        # [0, 1] — opportunities to act
+    remote_access: bool         # can off-campus learners attend live?
+    physical_copresence: bool   # do on-campus learners share a room?
+    display: DisplayModel       # what participants look through
+    avatar_lod: Optional[LodLevel]  # None = video tiles, not avatars
+    expression_accuracy: float  # how well affect crosses the medium
+    #: Per-hour cybersickness exposure exists only for HMD modalities.
+    hmd_based: bool
+
+    def __post_init__(self):
+        for field_name in ("immersion", "interactivity", "expression_accuracy"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be in [0,1], got {value}")
+
+
+#: A desktop window subtends roughly 30 degrees; it is "the display"
+#: through which conferencing participants see each other.
+_DESKTOP = DisplayModel(name="desktop_window", fov_horizontal_deg=30.0,
+                        fov_vertical_deg=20.0, refresh_hz=60.0)
+_AR_HEADSET = DisplayModel(name="ar_headset", fov_horizontal_deg=52.0,
+                           fov_vertical_deg=40.0, refresh_hz=60.0)
+_VR_HEADSET = DisplayModel(name="vr_headset", fov_horizontal_deg=100.0,
+                           fov_vertical_deg=95.0, refresh_hz=72.0)
+
+MODALITY_PROFILES: Dict[str, ModalityProfile] = {
+    "video_conference": ModalityProfile(
+        name="video_conference",
+        presence=PresenceFactors(
+            embodiment=0.25,        # a face in a tile
+            spatial_audio=0.05,     # mono mixed audio
+            mutual_gaze=0.10,       # camera offset kills eye contact
+            interaction_freq=0.35,  # raise-hand queues, chat
+            self_disclosure=0.45,
+        ),
+        immersion=0.15,
+        interactivity=0.35,
+        remote_access=True,
+        physical_copresence=False,
+        display=_DESKTOP,
+        avatar_lod=None,
+        expression_accuracy=0.75,   # faces transmit well on video
+        hmd_based=False,
+    ),
+    "ar_classroom": ModalityProfile(
+        name="ar_classroom",
+        presence=PresenceFactors(
+            embodiment=0.85,        # real bodies in the room
+            spatial_audio=0.90,
+            mutual_gaze=0.80,       # slightly occluded by the visor
+            interaction_freq=0.60,
+            self_disclosure=0.60,
+        ),
+        immersion=0.55,
+        interactivity=0.65,
+        remote_access=False,        # the paper: "fails to provide remote access"
+        physical_copresence=True,
+        display=_AR_HEADSET,
+        avatar_lod=level_by_name("high"),
+        expression_accuracy=0.85,   # you see real faces
+        hmd_based=True,
+    ),
+    "vr_remote": ModalityProfile(
+        name="vr_remote",
+        presence=PresenceFactors(
+            embodiment=0.65,
+            spatial_audio=0.80,
+            mutual_gaze=0.55,
+            interaction_freq=0.55,
+            self_disclosure=0.50,
+        ),
+        immersion=0.90,
+        interactivity=0.60,
+        remote_access=True,
+        physical_copresence=False,
+        display=_VR_HEADSET,
+        avatar_lod=level_by_name("medium"),
+        expression_accuracy=0.55,   # tracked blendshapes, lossy
+        hmd_based=True,
+    ),
+    "blended_metaverse": ModalityProfile(
+        name="blended_metaverse",
+        presence=PresenceFactors(
+            embodiment=0.85,        # local bodies + high-fidelity avatars
+            spatial_audio=0.90,
+            mutual_gaze=0.75,       # gaze-corrected retargeting
+            interaction_freq=0.80,  # gamified modules, collaborations
+            self_disclosure=0.65,
+        ),
+        immersion=0.85,
+        interactivity=0.85,
+        remote_access=True,
+        physical_copresence=True,
+        display=_VR_HEADSET,
+        avatar_lod=level_by_name("high"),
+        expression_accuracy=0.70,
+        hmd_based=True,
+    ),
+}

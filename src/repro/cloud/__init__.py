@@ -1,0 +1,21 @@
+"""The cloud side: the VR classroom host and regional server planning.
+
+Figure 3: "the cloud server arranges the avatars of all users within an
+entirely virtual VR classroom and transmits the results back to the remote
+users."  Section 3.3 adds the scaling prescription: "Most gaming platforms
+solve this issue by setting up regional servers" — planned here by a
+k-median placement over the remote population's geography.
+"""
+
+from repro.cloud.layout import VRClassroomLayout
+from repro.cloud.regions import RegionalPlan, plan_regions
+from repro.cloud.scaling import ShardPlanner
+from repro.cloud.server import CloudClassroomServer
+
+__all__ = [
+    "CloudClassroomServer",
+    "RegionalPlan",
+    "ShardPlanner",
+    "VRClassroomLayout",
+    "plan_regions",
+]

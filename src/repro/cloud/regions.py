@@ -1,0 +1,126 @@
+"""Regional server placement over the remote population's geography."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.net.geo import CITY_REGIONS, WORLD_CITIES, GeoPoint
+from repro.net.latency import WanLatencyModel
+from repro.workload.population import RemotePopulation, RemoteUser
+
+#: Cities where a real operator could rent servers.
+DEFAULT_CANDIDATE_SITES = (
+    "hkust_cwb", "tokyo", "singapore", "seoul", "mumbai", "dubai",
+    "london", "paris", "new_york", "san_francisco", "sao_paulo", "sydney",
+)
+
+
+@dataclass
+class RegionalPlan:
+    """Chosen server sites and the user → site assignment."""
+
+    sites: List[str]
+    assignment: Dict[str, str] = field(default_factory=dict)  # user_id -> site
+    rtts: Dict[str, float] = field(default_factory=dict)      # user_id -> seconds
+
+    def rtt_array(self) -> np.ndarray:
+        return np.array(sorted(self.rtts.values()))
+
+    def mean_rtt(self) -> float:
+        return float(self.rtt_array().mean())
+
+    def p95_rtt(self) -> float:
+        return float(np.percentile(self.rtt_array(), 95.0))
+
+    def fraction_above(self, threshold_s: float) -> float:
+        """Fraction of users whose RTT exceeds ``threshold_s``."""
+        rtts = self.rtt_array()
+        return float((rtts > threshold_s).mean())
+
+
+def _user_site_rtt(
+    user: RemoteUser, site: str, model: WanLatencyModel
+) -> float:
+    return model.rtt(
+        user.geo,
+        WORLD_CITIES[site],
+        user.region,
+        CITY_REGIONS[site],
+        sample_jitter=False,
+    )
+
+
+def plan_regions(
+    population: RemotePopulation,
+    k: int,
+    model: Optional[WanLatencyModel] = None,
+    candidates: Sequence[str] = DEFAULT_CANDIDATE_SITES,
+) -> RegionalPlan:
+    """Greedy k-median placement of ``k`` regional servers.
+
+    Iteratively adds the candidate site that most reduces the population's
+    total RTT — the standard greedy approximation (1 - 1/e of optimal for
+    this submodular objective), plenty for the experiment's purpose.
+    Users are then assigned to their closest chosen site.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if not population.users:
+        raise ValueError("population is empty")
+    if model is None:
+        model = WanLatencyModel()
+    candidates = list(candidates)
+    if k > len(candidates):
+        raise ValueError(f"k={k} exceeds the {len(candidates)} candidate sites")
+
+    # Precompute user x candidate RTTs.
+    rtt = {
+        (user.user_id, site): _user_site_rtt(user, site, model)
+        for user in population.users
+        for site in candidates
+    }
+    chosen: List[str] = []
+    best_per_user: Dict[str, float] = {
+        user.user_id: float("inf") for user in population.users
+    }
+    for _ in range(k):
+        best_site, best_total = None, float("inf")
+        for site in candidates:
+            if site in chosen:
+                continue
+            total = sum(
+                min(best_per_user[user.user_id], rtt[(user.user_id, site)])
+                for user in population.users
+            )
+            if total < best_total:
+                best_site, best_total = site, total
+        chosen.append(best_site)
+        for user in population.users:
+            best_per_user[user.user_id] = min(
+                best_per_user[user.user_id], rtt[(user.user_id, best_site)]
+            )
+
+    plan = RegionalPlan(sites=chosen)
+    for user in population.users:
+        site = min(chosen, key=lambda s: rtt[(user.user_id, s)])
+        plan.assignment[user.user_id] = site
+        plan.rtts[user.user_id] = rtt[(user.user_id, site)]
+    return plan
+
+
+def single_server_plan(
+    population: RemotePopulation,
+    site: str = "hkust_cwb",
+    model: Optional[WanLatencyModel] = None,
+) -> RegionalPlan:
+    """The baseline: every user served by one site."""
+    if model is None:
+        model = WanLatencyModel()
+    plan = RegionalPlan(sites=[site])
+    for user in population.users:
+        plan.assignment[user.user_id] = site
+        plan.rtts[user.user_id] = _user_site_rtt(user, site, model)
+    return plan

@@ -1,0 +1,53 @@
+"""Session sharding for very large audiences."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class ShardPlanner:
+    """Splits an audience across server shards.
+
+    One authoritative shard can only tick so many entities (the C3a
+    experiment measures the knee).  Beyond that, audiences are split:
+    everyone still *sees* the instructor and stage (replicated to every
+    shard), but peer visibility is confined to the shard — the standard
+    trade the paper's "massively multi-user" citation (Donkervliet et al.)
+    grapples with.
+    """
+
+    shard_capacity: int = 500
+    replicated_entities: int = 3  # instructor, speakers, stage props
+
+    def __post_init__(self):
+        if self.shard_capacity < 2:
+            raise ValueError("shard capacity must be >= 2")
+        if self.replicated_entities < 0:
+            raise ValueError("replicated entities must be >= 0")
+
+    def n_shards(self, n_users: int) -> int:
+        if n_users < 0:
+            raise ValueError("n_users must be >= 0")
+        if n_users == 0:
+            return 0
+        usable = self.shard_capacity - self.replicated_entities
+        if usable < 1:
+            raise ValueError("capacity too small for the replicated set")
+        return -(-n_users // usable)  # ceil division
+
+    def assign(self, user_ids: List[str]) -> Dict[str, int]:
+        """Round-robin users over the planned shards."""
+        shards = self.n_shards(len(user_ids))
+        if shards == 0:
+            return {}
+        return {user_id: i % shards for i, user_id in enumerate(user_ids)}
+
+    def peer_visibility_fraction(self, n_users: int) -> float:
+        """Fraction of the audience each user can see as peers."""
+        if n_users <= 1:
+            return 1.0
+        shards = self.n_shards(n_users)
+        per_shard = n_users / shards
+        return min(1.0, (per_shard - 1) / (n_users - 1))

@@ -1,0 +1,59 @@
+"""Credits and rewards for content contribution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.content.objects import CONTENT_KINDS, ContentObject
+
+#: Default credit value per contribution kind: effortful artifacts earn
+#: more, keeping the incentive aligned with usefulness.
+DEFAULT_CREDITS = {
+    "slide_deck": 10.0,
+    "3d_model": 25.0,
+    "quiz": 8.0,
+    "recording": 5.0,
+    "annotation": 1.0,
+    "breakout_puzzle": 15.0,
+    "adventure_story": 12.0,
+}
+
+
+@dataclass
+class RewardPolicy:
+    """Accrues credits per author, with usage royalties."""
+
+    credits_per_kind: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_CREDITS)
+    )
+    royalty_per_use: float = 0.5
+    balances: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        missing = set(CONTENT_KINDS) - set(self.credits_per_kind)
+        if missing:
+            raise ValueError(f"credit table missing kinds: {sorted(missing)}")
+        if self.royalty_per_use < 0:
+            raise ValueError("royalty must be >= 0")
+
+    def reward_contribution(self, obj: ContentObject) -> float:
+        """Credit the author for a new contribution; returns the amount."""
+        amount = self.credits_per_kind[obj.kind]
+        self.balances[obj.author] = self.balances.get(obj.author, 0.0) + amount
+        return amount
+
+    def reward_usage(self, obj: ContentObject, uses: int = 1) -> float:
+        """Royalty each time someone uses the artifact in class."""
+        if uses < 0:
+            raise ValueError("uses must be >= 0")
+        amount = self.royalty_per_use * uses
+        self.balances[obj.author] = self.balances.get(obj.author, 0.0) + amount
+        return amount
+
+    def balance(self, author: str) -> float:
+        return self.balances.get(author, 0.0)
+
+    def leaderboard(self) -> list:
+        """(author, balance) sorted by balance descending."""
+        return sorted(self.balances.items(), key=lambda kv: (-kv[1], kv[0]))

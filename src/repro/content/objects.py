@@ -1,0 +1,87 @@
+"""Learning-content objects contributed by class participants."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+#: Contribution kinds Section 3.1 anticipates.
+CONTENT_KINDS = (
+    "slide_deck",
+    "3d_model",
+    "quiz",
+    "recording",
+    "annotation",
+    "breakout_puzzle",
+    "adventure_story",
+)
+
+
+@dataclass(frozen=True)
+class ContentObject:
+    """One contributed artifact."""
+
+    content_id: str
+    author: str
+    kind: str
+    title: str
+    size_bytes: int
+    tags: frozenset = field(default_factory=frozenset)
+
+    def __post_init__(self):
+        if self.kind not in CONTENT_KINDS:
+            raise ValueError(f"unknown content kind: {self.kind!r}")
+        if self.size_bytes <= 0:
+            raise ValueError("size must be positive")
+
+    @property
+    def digest(self) -> str:
+        """Stable content hash used by the ledger."""
+        payload = f"{self.content_id}|{self.author}|{self.kind}|{self.title}|{self.size_bytes}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ContentLibrary:
+    """The classroom's searchable store of contributed content."""
+
+    def __init__(self):
+        self._objects: Dict[str, ContentObject] = {}
+        self._by_tag: Dict[str, Set[str]] = {}
+
+    def add(self, obj: ContentObject) -> None:
+        if obj.content_id in self._objects:
+            raise ValueError(f"duplicate content id: {obj.content_id!r}")
+        self._objects[obj.content_id] = obj
+        for tag in obj.tags:
+            self._by_tag.setdefault(tag, set()).add(obj.content_id)
+
+    def get(self, content_id: str) -> ContentObject:
+        try:
+            return self._objects[content_id]
+        except KeyError:
+            raise KeyError(f"no such content: {content_id!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def search(
+        self, tag: Optional[str] = None, kind: Optional[str] = None,
+        author: Optional[str] = None,
+    ) -> List[ContentObject]:
+        """Filter by any combination of tag, kind, author."""
+        if tag is not None:
+            candidates = [self._objects[cid] for cid in self._by_tag.get(tag, ())]
+        else:
+            candidates = list(self._objects.values())
+        if kind is not None:
+            candidates = [obj for obj in candidates if obj.kind == kind]
+        if author is not None:
+            candidates = [obj for obj in candidates if obj.author == author]
+        return sorted(candidates, key=lambda obj: obj.content_id)
+
+    def by_author(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for obj in self._objects.values():
+            counts[obj.author] = counts.get(obj.author, 0) + 1
+        return counts

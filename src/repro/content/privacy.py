@@ -1,0 +1,95 @@
+"""Privacy policy for content overlays in the blended classroom.
+
+"Improper augmentation of contents in the Metaverse can pose privacy
+threats and perhaps risks of copyright infringement."  Every overlay a
+participant wants to place into the shared space passes through the
+policy engine, which checks consent, zone restrictions, personal-data
+capture, and license provenance.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List
+
+
+class PrivacyDecision(enum.Enum):
+    """Verdict on an overlay request."""
+
+    ALLOW = "allow"
+    REDACT = "redact"     # allowed after stripping personal data
+    DENY = "deny"
+
+
+@dataclass(frozen=True)
+class OverlayRequest:
+    """An overlay someone wants to display in the shared space."""
+
+    request_id: str
+    author: str
+    zone: str                       # "stage", "seating", "private_desk"...
+    contains_personal_data: bool = False
+    captured_subjects: FrozenSet[str] = field(default_factory=frozenset)
+    consented_subjects: FrozenSet[str] = field(default_factory=frozenset)
+    licensed: bool = True
+
+
+@dataclass
+class PrivacyPolicy:
+    """Rules the classroom enforces on overlays."""
+
+    #: Zones where no user-generated overlays may appear at all.
+    restricted_zones: FrozenSet[str] = frozenset({"private_desk"})
+    #: Whether unlicensed material is rejected outright.
+    enforce_licensing: bool = True
+    decisions: Dict[str, PrivacyDecision] = field(default_factory=dict)
+
+    def evaluate(self, request: OverlayRequest) -> PrivacyDecision:
+        """Decide one overlay request (and record the decision).
+
+        Rules, in order of severity:
+
+        1. restricted zone -> DENY;
+        2. unlicensed material -> DENY (when licensing is enforced);
+        3. captured people who did not consent -> DENY;
+        4. personal data with full consent -> REDACT (display with the
+           personal fields stripped);
+        5. otherwise ALLOW.
+        """
+        decision = PrivacyDecision.ALLOW
+        if request.zone in self.restricted_zones:
+            decision = PrivacyDecision.DENY
+        elif self.enforce_licensing and not request.licensed:
+            decision = PrivacyDecision.DENY
+        elif request.captured_subjects - request.consented_subjects:
+            decision = PrivacyDecision.DENY
+        elif request.contains_personal_data:
+            decision = PrivacyDecision.REDACT
+        self.decisions[request.request_id] = decision
+        return decision
+
+    def evaluate_batch(self, requests: List[OverlayRequest]) -> Dict[str, PrivacyDecision]:
+        return {req.request_id: self.evaluate(req) for req in requests}
+
+    def violation_recall(self, requests: List[OverlayRequest]) -> float:
+        """Fraction of genuinely violating requests that were blocked.
+
+        A request is a *violation* when it captures a non-consenting
+        subject, sits in a restricted zone, or is unlicensed.
+        """
+        violations = blocked = 0
+        for request in requests:
+            is_violation = (
+                request.zone in self.restricted_zones
+                or (self.enforce_licensing and not request.licensed)
+                or bool(request.captured_subjects - request.consented_subjects)
+            )
+            if not is_violation:
+                continue
+            violations += 1
+            if self.evaluate(request) is PrivacyDecision.DENY:
+                blocked += 1
+        if violations == 0:
+            raise ValueError("no violations in the request set")
+        return blocked / violations

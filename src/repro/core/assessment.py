@@ -1,0 +1,137 @@
+"""Learning assessment in the Metaverse (platform feature (i)).
+
+Section 3.1 lists "learning assessment in the Metaverse for the courses"
+as the platform's first feature.  The engine administers quizzes with a
+one-parameter IRT response model, modulated by each learner's attention
+(a distracted student underperforms their ability), and a retention model
+reproducing the effect the paper cites from Brelsford's VR physics lab:
+hands-on immersive learning retains better at a delay than lecture
+exposure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuizItem:
+    """One assessment item (1-PL / Rasch with a discrimination knob)."""
+
+    item_id: str
+    difficulty: float            # logit scale; 0 = average
+    discrimination: float = 1.0  # slope; >0
+
+    def __post_init__(self):
+        if self.discrimination <= 0:
+            raise ValueError("discrimination must be positive")
+
+    def p_correct(self, ability: float) -> float:
+        """Probability a learner of ``ability`` answers correctly."""
+        return 1.0 / (1.0 + math.exp(
+            -self.discrimination * (ability - self.difficulty)
+        ))
+
+
+@dataclass
+class QuizResult:
+    """One learner's scored quiz."""
+
+    learner_id: str
+    responses: Dict[str, bool]
+
+    @property
+    def score(self) -> float:
+        if not self.responses:
+            raise ValueError("empty quiz")
+        return sum(self.responses.values()) / len(self.responses)
+
+
+class AssessmentEngine:
+    """Administers quizzes and aggregates class analytics."""
+
+    def __init__(self, items: List[QuizItem], rng: np.random.Generator):
+        if not items:
+            raise ValueError("a quiz needs at least one item")
+        ids = [item.item_id for item in items]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate item ids")
+        self.items = list(items)
+        self.rng = rng
+        self.results: List[QuizResult] = []
+
+    def administer(self, learner_id: str, ability: float,
+                   attention_fraction: float = 1.0) -> QuizResult:
+        """One learner takes the quiz.
+
+        Attention gates effective ability: a learner who followed half the
+        class performs as if their ability were pulled halfway towards the
+        guessing floor (-2 logits here).
+        """
+        if not 0.0 <= attention_fraction <= 1.0:
+            raise ValueError("attention must be in [0,1]")
+        effective = attention_fraction * ability + (1 - attention_fraction) * -2.0
+        responses = {
+            item.item_id: bool(self.rng.random() < item.p_correct(effective))
+            for item in self.items
+        }
+        result = QuizResult(learner_id, responses)
+        self.results.append(result)
+        return result
+
+    def class_mean_score(self) -> float:
+        if not self.results:
+            raise RuntimeError("no quizzes administered")
+        return float(np.mean([result.score for result in self.results]))
+
+    def item_difficulty_empirical(self) -> Dict[str, float]:
+        """Observed per-item failure rate (empirical difficulty)."""
+        if not self.results:
+            raise RuntimeError("no quizzes administered")
+        failure: Dict[str, float] = {}
+        for item in self.items:
+            wrong = sum(
+                1 for result in self.results if not result.responses[item.item_id]
+            )
+            failure[item.item_id] = wrong / len(self.results)
+        return failure
+
+
+@dataclass(frozen=True)
+class RetentionModel:
+    """Delayed-recall retention as a function of how material was learned.
+
+    ``retention(gain, weeks)`` decays exponentially; *hands-on* immersive
+    learning (virtual labs, manipulable 3D) both raises the immediate gain
+    and slows the decay — the Brelsford result the paper invokes ("better
+    retention than those from the lecture-based learning group", tested
+    four weeks later).
+    """
+
+    lecture_decay_per_week: float = 0.18
+    hands_on_decay_per_week: float = 0.08
+    hands_on_gain_bonus: float = 0.10
+
+    def immediate_gain(self, engagement: float, hands_on: bool) -> float:
+        """Post-class knowledge gain in [0, 1]."""
+        if not 0.0 <= engagement <= 1.0:
+            raise ValueError("engagement must be in [0,1]")
+        gain = 0.2 + 0.6 * engagement
+        if hands_on:
+            gain += self.hands_on_gain_bonus
+        return min(1.0, gain)
+
+    def retention(self, engagement: float, weeks: float, hands_on: bool) -> float:
+        """Knowledge retained ``weeks`` after the class."""
+        if weeks < 0:
+            raise ValueError("weeks must be >= 0")
+        gain = self.immediate_gain(engagement, hands_on)
+        decay = (
+            self.hands_on_decay_per_week if hands_on
+            else self.lecture_decay_per_week
+        )
+        return gain * math.exp(-decay * weeks)

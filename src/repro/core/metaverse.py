@@ -1,0 +1,374 @@
+"""The full virtual-physical blended deployment (Figure 3, end to end)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cloud.server import CloudClassroomServer
+from repro.core.classroom import PhysicalClassroom
+from repro.core.participant import Participant, Role
+from repro.net.geo import CITY_REGIONS, WORLD_CITIES
+from repro.net.latency import WanLatencyModel
+from repro.net.packet import Packet
+from repro.net.topology import Site, Topology
+from repro.sensing.pose import Pose
+from repro.simkit.engine import Simulator
+from repro.sync.client import SyncClient
+from repro.sync.interest import InterestConfig, InterestManager
+from repro.workload.traces import SeatedMotion
+
+#: Campus backbone and campus-to-cloud link rate.
+BACKBONE_RATE_BPS = 1e9
+
+
+class MetaverseClassroom:
+    """Builds and runs a blended classroom deployment.
+
+    Usage::
+
+        m = MetaverseClassroom(sim)
+        m.add_campus("cwb", city="hkust_cwb")
+        m.add_campus("gz", city="hkust_gz")
+        m.add_participant(Participant("alice", campus="cwb"))
+        m.add_participant(Participant("kaist-0", city="kaist"))
+        m.wire()
+        m.run(duration=10.0)
+        report = m.report()
+
+    Replication paths wired by :meth:`wire`:
+
+    * campus edge → peer campus edge, over the inter-campus backbone
+      (direct MR↔MR replication with seat placement at the receiver);
+    * campus edge → cloud, so remote VR users see physical participants;
+    * remote client → cloud → remote clients (the VR classroom proper);
+    * cloud → campus edges, restricted to *remote* users' avatars, so each
+      MR classroom displays the online attendees too.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cloud_city: str = "hkust_cwb",
+        cloud_tick_rate_hz: float = 20.0,
+        remote_update_rate_hz: float = 20.0,
+    ):
+        self.sim = sim
+        self.cloud_city = cloud_city
+        self.topology = Topology(sim)
+        self.wan = WanLatencyModel(rng=sim.rng.stream("wan"))
+        # The VR classroom is one shared space: everyone is relevant.
+        self.cloud = CloudClassroomServer(
+            sim,
+            tick_rate_hz=cloud_tick_rate_hz,
+            interest=InterestManager(
+                InterestConfig(radius_m=1e6, max_entities=100000)
+            ),
+        )
+        self.remote_update_rate_hz = remote_update_rate_hz
+        self.campuses: Dict[str, PhysicalClassroom] = {}
+        self._campus_cities: Dict[str, str] = {}
+        self.remote_clients: Dict[str, SyncClient] = {}
+        self.participants: Dict[str, Participant] = {}
+        self._wired = False
+        #: Campus pairs whose direct backbone is down; their traffic
+        #: fails over to the cloud relay path.
+        self._failed_pairs: set = set()
+
+    # -- construction --------------------------------------------------------
+
+    def add_campus(self, name: str, city: str, **classroom_kwargs) -> PhysicalClassroom:
+        if self._wired:
+            raise RuntimeError("cannot add campuses after wire()")
+        if name in self.campuses:
+            raise ValueError(f"duplicate campus: {name!r}")
+        if city not in WORLD_CITIES:
+            raise KeyError(f"unknown city: {city!r}")
+        classroom = PhysicalClassroom(self.sim, name, **classroom_kwargs)
+        self.campuses[name] = classroom
+        self._campus_cities[name] = city
+        self.topology.add_site(
+            Site(name, WORLD_CITIES[city], CITY_REGIONS[city])
+        )
+        return classroom
+
+    def add_participant(self, participant: Participant) -> None:
+        if participant.participant_id in self.participants:
+            raise ValueError(f"duplicate participant: {participant.participant_id!r}")
+        if not participant.is_remote:
+            if participant.campus not in self.campuses:
+                raise KeyError(f"unknown campus: {participant.campus!r}")
+            self.campuses[participant.campus].add_participant(participant)
+        else:
+            if participant.city not in WORLD_CITIES:
+                raise KeyError(f"unknown city: {participant.city!r}")
+        self.participants[participant.participant_id] = participant
+
+    # -- wiring -----------------------------------------------------------
+
+    def wire(self) -> None:
+        """Create the network and register every replication path."""
+        if self._wired:
+            raise RuntimeError("already wired")
+        self._wired = True
+        cloud_site = "cloud"
+        self.topology.add_site(
+            Site(cloud_site, WORLD_CITIES[self.cloud_city],
+                 CITY_REGIONS[self.cloud_city])
+        )
+        campus_names = sorted(self.campuses)
+        for name in campus_names:
+            self.topology.connect(name, cloud_site, rate_bps=BACKBONE_RATE_BPS)
+        for i, a in enumerate(campus_names):
+            for b in campus_names[i + 1:]:
+                self.topology.connect(a, b, rate_bps=BACKBONE_RATE_BPS)
+
+        # Edge -> peer edge and edge -> cloud.
+        for a in campus_names:
+            campus_a = self.campuses[a]
+            for b in campus_names:
+                if b == a:
+                    continue
+                channel = self.topology.channel(a, b)
+                campus_a.edge.add_peer(
+                    b, self._edge_to_edge_sender(campus_a, self.campuses[b], channel)
+                )
+            cloud_channel = self.topology.channel(a, cloud_site)
+            campus_a.edge.add_peer(
+                "cloud", self._edge_to_cloud_sender(cloud_channel)
+            )
+
+        # Cloud -> edges: each edge subscribes for the remote users' avatars.
+        for name in campus_names:
+            channel = self.topology.channel(cloud_site, name)
+            self.cloud.sync.subscribe(
+                f"edge:{name}", self._cloud_to_edge_sender(self.campuses[name], channel)
+            )
+
+        # Remote participants get their sync clients now.
+        for participant in self.participants.values():
+            if participant.is_remote:
+                self._connect_remote(participant)
+
+    def _edge_to_edge_sender(self, source: PhysicalClassroom,
+                             target: PhysicalClassroom, channel):
+        def send(state):
+            anchor = source.seat_anchor(state.participant_id)
+            packet = Packet(
+                src=source.name, dst=target.name,
+                size_bytes=state.wire_bytes(), kind="avatar",
+                payload=(state, anchor), created_at=self.sim.now,
+            )
+            channel.send(
+                packet,
+                lambda p: target.edge.receive_remote_state(*p.payload),
+            )
+
+        return send
+
+    def _edge_to_cloud_sender(self, channel):
+        def send(state):
+            packet = Packet(
+                src=channel.src, dst="cloud",
+                size_bytes=state.wire_bytes(), kind="avatar",
+                payload=state, created_at=self.sim.now,
+            )
+            channel.send(packet, lambda p: self.cloud.ingest_edge_state(p.payload))
+
+        return send
+
+    def _relay_active(self, source_campus: Optional[str], target_campus: str) -> bool:
+        """Whether this campus pair currently routes via the cloud."""
+        if source_campus is None or source_campus == target_campus:
+            return False
+        return frozenset((source_campus, target_campus)) in self._failed_pairs
+
+    def _cloud_to_edge_sender(self, campus: PhysicalClassroom, channel):
+        def send(snapshot):
+            remote_states = [
+                state for state in snapshot.states
+                if state.participant_id in self.participants
+                and (
+                    self.participants[state.participant_id].is_remote
+                    or self._relay_active(
+                        self.participants[state.participant_id].campus,
+                        campus.name,
+                    )
+                )
+            ]
+            if not remote_states:
+                return
+            packet = Packet(
+                src="cloud", dst=campus.name,
+                size_bytes=sum(s.wire_bytes() for s in remote_states),
+                kind="avatar", payload=remote_states, created_at=self.sim.now,
+            )
+
+            def deliver(packet):
+                for state in packet.payload:
+                    participant = self.participants[state.participant_id]
+                    if participant.is_remote:
+                        # A remote user's anchor is their VR-classroom seat.
+                        campus.edge.receive_remote_state(state, state.pose.position)
+                    else:
+                        # Cloud relay of a physical participant: undo the
+                        # VR-seat rebasing so the state is back in its
+                        # source room's coordinates.
+                        offset = self.cloud._seat_offsets.get(
+                            state.participant_id
+                        )
+                        restored = state.copy()
+                        if offset is not None:
+                            restored.pose = Pose(
+                                restored.pose.position - offset,
+                                restored.pose.orientation,
+                            )
+                        anchor = self.campuses[participant.campus].seat_anchor(
+                            state.participant_id
+                        )
+                        campus.edge.receive_remote_state(restored, anchor)
+
+            channel.send(packet, deliver)
+
+        return send
+
+    def _connect_remote(self, participant: Participant) -> None:
+        pid = participant.participant_id
+        geo = WORLD_CITIES[participant.city]
+        region = CITY_REGIONS[participant.city]
+        cloud_geo = WORLD_CITIES[self.cloud_city]
+        cloud_region = CITY_REGIONS[self.cloud_city]
+
+        def one_way() -> float:
+            return self.wan.one_way_delay(geo, cloud_geo, region, cloud_region)
+
+        client = SyncClient(
+            self.sim, pid,
+            transmit=lambda update: self.sim.call_later(
+                one_way(), lambda u=update: self.cloud.ingest_update(u)
+            ),
+            update_rate_hz=self.remote_update_rate_hz,
+        )
+        client.local_pose = SeatedMotion(
+            (0.0, 0.0, 1.2), self.sim.rng.stream(f"motion:remote:{pid}")
+        )
+        role = {
+            Role.INSTRUCTOR: "instructor", Role.SPEAKER: "speaker"
+        }.get(participant.role, "student")
+        self.cloud.connect(
+            pid,
+            send=lambda snapshot, c=client: self.sim.call_later(
+                one_way(), lambda s=snapshot: c.on_snapshot(s)
+            ),
+            role=role,
+        )
+        self.remote_clients[pid] = client
+
+    # -- failure injection --------------------------------------------------
+
+    def fail_backbone(self, campus_a: str, campus_b: str) -> None:
+        """Cut the direct inter-campus backbone; traffic relays via cloud.
+
+        Models the robustness story a real deployment needs: the peer link
+        dies, but both campuses still reach the cloud, so replication
+        continues (at the longer two-leg latency) instead of going dark.
+        """
+        if not self._wired:
+            raise RuntimeError("wire() first")
+        for name in (campus_a, campus_b):
+            if name not in self.campuses:
+                raise KeyError(f"unknown campus: {name!r}")
+        self.topology.link(campus_a, campus_b).up = False
+        self.topology.link(campus_b, campus_a).up = False
+        self._failed_pairs.add(frozenset((campus_a, campus_b)))
+
+    def restore_backbone(self, campus_a: str, campus_b: str) -> None:
+        """Bring a failed inter-campus link back; direct path resumes."""
+        self.topology.link(campus_a, campus_b).up = True
+        self.topology.link(campus_b, campus_a).up = True
+        self._failed_pairs.discard(frozenset((campus_a, campus_b)))
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def run(self, duration: float) -> None:
+        """Start every process and advance the simulation."""
+        if not self._wired:
+            raise RuntimeError("call wire() before run()")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        for campus in self.campuses.values():
+            campus.start(duration)
+        self.cloud.run(duration)
+        for client in self.remote_clients.values():
+            client.run(duration)
+        self.sim.run(until=self.sim.now + duration)
+
+    # -- reporting ------------------------------------------------------------
+
+    def report(self) -> "DeploymentReport":
+        return DeploymentReport(self)
+
+
+@dataclass
+class DeploymentReport:
+    """Post-run measurements of a deployment."""
+
+    deployment: MetaverseClassroom
+
+    def physical_ids(self, campus: Optional[str] = None) -> List[str]:
+        return [
+            pid for pid, p in self.deployment.participants.items()
+            if not p.is_remote and (campus is None or p.campus == campus)
+        ]
+
+    def remote_ids(self) -> List[str]:
+        return [
+            pid for pid, p in self.deployment.participants.items() if p.is_remote
+        ]
+
+    def cross_campus_visibility(self) -> float:
+        """Fraction of (campus, other-campus participant) pairs displayed."""
+        expected = seen = 0
+        for name, campus in self.deployment.campuses.items():
+            displayed = set(campus.edge.displayed_avatars)
+            for pid in self.physical_ids():
+                if self.deployment.participants[pid].campus == name:
+                    continue
+                expected += 1
+                if pid in displayed:
+                    seen += 1
+        if expected == 0:
+            raise RuntimeError("no cross-campus pairs to check")
+        return seen / expected
+
+    def remote_visibility_at_campuses(self) -> float:
+        """Fraction of remote users displayed in every MR classroom."""
+        remote = self.remote_ids()
+        if not remote or not self.deployment.campuses:
+            raise RuntimeError("need remote users and campuses")
+        expected = seen = 0
+        for campus in self.deployment.campuses.values():
+            displayed = set(campus.edge.displayed_avatars)
+            for pid in remote:
+                expected += 1
+                if pid in displayed:
+                    seen += 1
+        return seen / expected
+
+    def cloud_visibility(self) -> float:
+        """Fraction of all participants present in the VR classroom world."""
+        world = set(self.deployment.cloud.sync.world.entities)
+        everyone = list(self.deployment.participants)
+        present = sum(1 for pid in everyone if pid in world)
+        return present / len(everyone)
+
+    def remote_client_entities(self, pid: str) -> List[str]:
+        return self.deployment.remote_clients[pid].known_entities
+
+    def staleness_cross_campus_ms(self) -> List[float]:
+        """Staleness of every cross-campus avatar at its displaying edge."""
+        values = []
+        for name, campus in self.deployment.campuses.items():
+            for pid in campus.edge.displayed_avatars:
+                values.append(campus.edge.staleness(pid) * 1e3)
+        return values

@@ -1,0 +1,60 @@
+"""Figure 2's unit case: CWB + GZ campuses plus worldwide online users."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.metaverse import MetaverseClassroom
+from repro.core.participant import Participant, Role
+from repro.simkit.engine import Simulator
+
+#: Figure 2's remote institutions.
+DEFAULT_REMOTE_CITIES = ("kaist", "mit", "cambridge_uk")
+
+
+def build_unit_case(
+    sim: Simulator,
+    students_per_campus: int = 8,
+    remote_per_city: int = 2,
+    remote_cities: Tuple[str, ...] = DEFAULT_REMOTE_CITIES,
+    **deployment_kwargs,
+) -> MetaverseClassroom:
+    """The paper's unit case, wired and ready to run.
+
+    Two physical classrooms (HKUST Clear Water Bay and Guangzhou), an
+    instructor at CWB, ``students_per_campus`` students in each room, and
+    ``remote_per_city`` online attendees from each remote institution
+    (KAIST, MIT, Cambridge by default) connected to the cloud VR
+    classroom.
+    """
+    if students_per_campus < 1:
+        raise ValueError("need at least one student per campus")
+    if remote_per_city < 0:
+        raise ValueError("remote count must be >= 0")
+    deployment = MetaverseClassroom(sim, **deployment_kwargs)
+    deployment.add_campus("cwb", city="hkust_cwb")
+    deployment.add_campus("gz", city="hkust_gz")
+    deployment.add_participant(
+        Participant("instructor", role=Role.INSTRUCTOR, campus="cwb")
+    )
+    for campus in ("cwb", "gz"):
+        for i in range(students_per_campus):
+            deployment.add_participant(
+                Participant(f"{campus}-student-{i}", campus=campus)
+            )
+    for city in remote_cities:
+        for i in range(remote_per_city):
+            deployment.add_participant(
+                Participant(f"{city}-{i}", city=city)
+            )
+    deployment.wire()
+    return deployment
+
+
+def unit_case_roster(deployment: MetaverseClassroom) -> Dict[str, List[str]]:
+    """Participants grouped by where they attend from."""
+    roster: Dict[str, List[str]] = {}
+    for pid, participant in deployment.participants.items():
+        key = participant.campus if not participant.is_remote else f"online:{participant.city}"
+        roster.setdefault(key, []).append(pid)
+    return {key: sorted(values) for key, values in roster.items()}

@@ -1,0 +1,91 @@
+"""Per-participant sensor aggregation on the edge server."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.avatar.state import AvatarState
+from repro.sensing.expression import ExpressionState
+from repro.sensing.fusion import PoseFusionFilter
+from repro.sensing.headset import PoseSample
+from repro.simkit.engine import Simulator
+
+
+@dataclass
+class _Track:
+    filter: PoseFusionFilter
+    expression: Optional[np.ndarray] = None
+    seq: int = 0
+    samples: int = 0
+
+
+class SensorAggregator:
+    """Fuses headset and room streams into per-participant avatar states.
+
+    Figure 3: the edge server "aggregates the data to estimate the pose and
+    facial expression of the participants" and "generates the avatar".
+    ``ingest_pose`` / ``ingest_expression`` are wired to network delivery;
+    :meth:`generate` is called on the avatar tick and emits the fused
+    :class:`~repro.avatar.state.AvatarState` for every tracked participant.
+    """
+
+    def __init__(self, sim: Simulator, fusion_factory=PoseFusionFilter):
+        self.sim = sim
+        self._fusion_factory = fusion_factory
+        self._tracks: Dict[str, _Track] = {}
+        self.poses_ingested = 0
+        self.expressions_ingested = 0
+
+    def _track(self, participant_id: str) -> _Track:
+        track = self._tracks.get(participant_id)
+        if track is None:
+            track = _Track(filter=self._fusion_factory())
+            self._tracks[participant_id] = track
+        return track
+
+    def ingest_pose(self, sample: PoseSample) -> None:
+        track = self._track(sample.device_id)
+        try:
+            track.filter.update(sample)
+        except ValueError:
+            return  # late out-of-order sample: drop, as a real fuser would
+        track.samples += 1
+        self.poses_ingested += 1
+
+    def ingest_expression(self, participant_id: str, state: ExpressionState) -> None:
+        track = self._track(participant_id)
+        track.expression = state.weights
+        self.expressions_ingested += 1
+
+    @property
+    def tracked(self) -> list:
+        return sorted(self._tracks)
+
+    def drop(self, participant_id: str) -> None:
+        self._tracks.pop(participant_id, None)
+
+    def generate(self, participant_id: str) -> Optional[AvatarState]:
+        """The fused avatar state of one participant right now."""
+        track = self._tracks.get(participant_id)
+        if track is None or track.filter.updates == 0:
+            return None
+        state = AvatarState(
+            participant_id=participant_id,
+            time=self.sim.now,
+            pose=track.filter.estimate(self.sim.now),
+            expression=None if track.expression is None else track.expression.copy(),
+            seq=track.seq,
+        )
+        track.seq += 1
+        return state
+
+    def generate_all(self) -> Dict[str, AvatarState]:
+        states = {}
+        for participant_id in self._tracks:
+            state = self.generate(participant_id)
+            if state is not None:
+                states[participant_id] = state
+        return states

@@ -1,0 +1,30 @@
+"""Engagement as a function of presence, interactivity, and comfort."""
+
+from __future__ import annotations
+
+
+def engagement_index(
+    presence: float,
+    interactivity: float,
+    comfort: float,
+    immersion: float,
+) -> float:
+    """Overall engagement in [0, 1].
+
+    The factors follow the paper's motivation: presence and interactivity
+    drive engagement; immersion amplifies them; discomfort (cybersickness,
+    fatigue) gates everything — a sick student disengages no matter how
+    immersive the room is.  Multiplicative gating keeps the qualitative
+    behaviour honest: engagement collapses when *any* essential factor
+    collapses.
+    """
+    for name, value in (
+        ("presence", presence),
+        ("interactivity", interactivity),
+        ("comfort", comfort),
+        ("immersion", immersion),
+    ):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0,1], got {value}")
+    core = 0.5 * presence + 0.3 * interactivity + 0.2 * immersion
+    return core * comfort

@@ -1,0 +1,70 @@
+"""Social presence scoring.
+
+Garrison et al.'s Community of Inquiry frames social presence as
+socio-emotional projection through the medium; Greenan adds
+self-disclosure.  The model scores a learning modality from five factors,
+each in [0, 1], with weights chosen so the qualitative ordering the paper
+asserts (blended Metaverse > VR > AR > video conference > LMS forum) falls
+out of the factors rather than being hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PresenceFactors:
+    """What a modality offers, each on [0, 1]."""
+
+    embodiment: float          # avatar/body representation fidelity
+    spatial_audio: float       # directional voice
+    mutual_gaze: float         # can participants see where others look?
+    interaction_freq: float    # opportunities to converse/act per minute
+    self_disclosure: float     # how personal the medium lets users be
+
+    def __post_init__(self):
+        for name in ("embodiment", "spatial_audio", "mutual_gaze",
+                     "interaction_freq", "self_disclosure"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0,1], got {value}")
+
+
+@dataclass(frozen=True)
+class SocialPresenceModel:
+    """Weighted-sum presence score."""
+
+    w_embodiment: float = 0.30
+    w_spatial_audio: float = 0.15
+    w_mutual_gaze: float = 0.20
+    w_interaction: float = 0.20
+    w_disclosure: float = 0.15
+
+    def score(self, factors: PresenceFactors) -> float:
+        """Social presence in [0, 1]."""
+        return (
+            self.w_embodiment * factors.embodiment
+            + self.w_spatial_audio * factors.spatial_audio
+            + self.w_mutual_gaze * factors.mutual_gaze
+            + self.w_interaction * factors.interaction_freq
+            + self.w_disclosure * factors.self_disclosure
+        )
+
+    def degraded(self, factors: PresenceFactors, network_quality: float) -> float:
+        """Presence after network degradation (quality in [0, 1]).
+
+        Embodiment, gaze and audio are transported signals; bad networking
+        (latency, loss) scales them down.  Disclosure is a property of the
+        social setting and survives.
+        """
+        if not 0.0 <= network_quality <= 1.0:
+            raise ValueError("network quality must be in [0,1]")
+        degraded = PresenceFactors(
+            embodiment=factors.embodiment * network_quality,
+            spatial_audio=factors.spatial_audio * network_quality,
+            mutual_gaze=factors.mutual_gaze * network_quality,
+            interaction_freq=factors.interaction_freq * network_quality,
+            self_disclosure=factors.self_disclosure,
+        )
+        return self.score(degraded)

@@ -1,0 +1,86 @@
+"""Adaptive bitrate control for the classroom's video streams.
+
+The paper wants "high video quality ... with few artifacts" under varying
+networks; a rate controller is how real systems deliver that.  This is a
+hybrid throughput/loss controller in the WebRTC tradition: additive
+increase while the path is clean, multiplicative decrease on loss or
+rising queueing delay, clamped to the codec's useful range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class AbrConfig:
+    """Controller tuning."""
+
+    min_bitrate_bps: float = 300e3
+    max_bitrate_bps: float = 8e6
+    increase_bps_per_step: float = 250e3
+    decrease_factor: float = 0.7
+    loss_threshold: float = 0.02
+    delay_threshold_s: float = 0.05   # queueing delay above baseline
+
+    def __post_init__(self):
+        if not 0 < self.min_bitrate_bps < self.max_bitrate_bps:
+            raise ValueError("need 0 < min < max bitrate")
+        if not 0.0 < self.decrease_factor < 1.0:
+            raise ValueError("decrease factor must be in (0,1)")
+        if self.increase_bps_per_step <= 0:
+            raise ValueError("increase step must be positive")
+
+
+class AbrController:
+    """One report per control interval drives one bitrate decision."""
+
+    def __init__(self, config: AbrConfig = AbrConfig(),
+                 initial_bitrate_bps: float = 1e6):
+        if not config.min_bitrate_bps <= initial_bitrate_bps <= config.max_bitrate_bps:
+            raise ValueError("initial bitrate outside the configured range")
+        self.config = config
+        self.bitrate_bps = float(initial_bitrate_bps)
+        self._baseline_delay: Optional[float] = None
+        self.history: List[float] = [self.bitrate_bps]
+        self.decreases = 0
+
+    def report(self, loss_fraction: float, one_way_delay_s: float,
+               throughput_bps: Optional[float] = None) -> float:
+        """Feed one interval's receiver report; returns the new bitrate.
+
+        ``throughput_bps`` (when known) caps increases: there is no point
+        encoding above what the path recently carried.
+        """
+        if not 0.0 <= loss_fraction <= 1.0:
+            raise ValueError("loss fraction must be in [0,1]")
+        if one_way_delay_s < 0:
+            raise ValueError("delay must be >= 0")
+        if self._baseline_delay is None or one_way_delay_s < self._baseline_delay:
+            self._baseline_delay = one_way_delay_s
+        queueing = one_way_delay_s - self._baseline_delay
+        congested = (
+            loss_fraction > self.config.loss_threshold
+            or queueing > self.config.delay_threshold_s
+        )
+        if congested:
+            self.bitrate_bps *= self.config.decrease_factor
+            self.decreases += 1
+        else:
+            self.bitrate_bps += self.config.increase_bps_per_step
+            if throughput_bps is not None:
+                self.bitrate_bps = min(self.bitrate_bps, 1.2 * throughput_bps)
+        self.bitrate_bps = min(
+            self.config.max_bitrate_bps,
+            max(self.config.min_bitrate_bps, self.bitrate_bps),
+        )
+        self.history.append(self.bitrate_bps)
+        return self.bitrate_bps
+
+    def converged_bitrate(self, last_n: int = 10) -> float:
+        """Mean of the last ``last_n`` decisions."""
+        if last_n < 1:
+            raise ValueError("last_n must be >= 1")
+        window = self.history[-last_n:]
+        return sum(window) / len(window)

@@ -1,0 +1,21 @@
+"""Measurement utilities: summary statistics, latency tracking, QoE.
+
+The experiment harness reports distributions, not single numbers; these
+helpers keep that cheap and uniform across subsystems.
+"""
+
+from repro.metrics.collector import MetricsRegistry
+from repro.metrics.latency import LatencyTracker, StageBudget
+from repro.metrics.qoe import InteractionQoeModel, VideoQoeModel
+from repro.metrics.stats import Summary, bootstrap_ci, summarize
+
+__all__ = [
+    "InteractionQoeModel",
+    "LatencyTracker",
+    "MetricsRegistry",
+    "StageBudget",
+    "Summary",
+    "VideoQoeModel",
+    "bootstrap_ci",
+    "summarize",
+]

@@ -1,0 +1,52 @@
+"""A small registry of counters, gauges, and latency trackers."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.metrics.latency import LatencyTracker
+
+
+class MetricsRegistry:
+    """Named counters/gauges/trackers shared across a simulation run."""
+
+    def __init__(self):
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._trackers: Dict[str, LatencyTracker] = {}
+
+    # -- counters ---------------------------------------------------------
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    # -- gauges ----------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = float(value)
+
+    def gauge(self, name: str) -> float:
+        if name not in self._gauges:
+            raise KeyError(f"gauge never set: {name}")
+        return self._gauges[name]
+
+    # -- trackers -----------------------------------------------------------
+
+    def tracker(self, name: str) -> LatencyTracker:
+        tracker = self._trackers.get(name)
+        if tracker is None:
+            tracker = LatencyTracker(name)
+            self._trackers[name] = tracker
+        return tracker
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dict of all counters and gauges (trackers excluded)."""
+        merged = dict(self._counters)
+        for name, value in self._gauges.items():
+            merged[f"gauge:{name}"] = value
+        return merged

@@ -1,0 +1,92 @@
+"""Latency sample trackers and pipeline stage budgets."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List
+
+from repro.metrics.stats import Summary, summarize
+
+
+class LatencyTracker:
+    """Accumulates latency samples (seconds) and summarizes on demand."""
+
+    def __init__(self, name: str = "latency"):
+        self.name = name
+        self.samples: List[float] = []
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative latency sample: {seconds}")
+        self.samples.append(float(seconds))
+
+    def record_span(self, start: float, end: float) -> None:
+        """Record ``end - start``; rejects reversed spans."""
+        self.record(end - start)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def summary(self) -> Summary:
+        return summarize(self.samples)
+
+    def summary_ms(self) -> Summary:
+        """Summary with samples scaled to milliseconds."""
+        return summarize([s * 1e3 for s in self.samples])
+
+    def fraction_above(self, threshold_s: float) -> float:
+        """Fraction of samples exceeding ``threshold_s``."""
+        if not self.samples:
+            raise ValueError("no samples recorded")
+        return sum(1 for s in self.samples if s > threshold_s) / len(self.samples)
+
+
+class StageBudget:
+    """Per-stage latency decomposition of a pipeline.
+
+    Used by the Figure-3 experiment to show where the motion-to-photon
+    budget goes (sensing, uplink, fusion, inter-site, placement, render,
+    display).
+    """
+
+    def __init__(self):
+        self._stages: "OrderedDict[str, LatencyTracker]" = OrderedDict()
+
+    def record(self, stage: str, seconds: float) -> None:
+        tracker = self._stages.get(stage)
+        if tracker is None:
+            tracker = LatencyTracker(stage)
+            self._stages[stage] = tracker
+        tracker.record(seconds)
+
+    @property
+    def stages(self) -> List[str]:
+        return list(self._stages)
+
+    def tracker(self, stage: str) -> LatencyTracker:
+        return self._stages[stage]
+
+    def mean_breakdown_ms(self) -> Dict[str, float]:
+        """Mean per-stage latency in milliseconds, in insertion order."""
+        return {
+            name: tracker.summary().mean * 1e3
+            for name, tracker in self._stages.items()
+            if tracker.samples
+        }
+
+    def total_mean_ms(self) -> float:
+        return sum(self.mean_breakdown_ms().values())
+
+    def table(self) -> str:
+        """Formatted per-stage table for benchmark printouts."""
+        lines = [f"{'stage':<28} {'mean ms':>10} {'p95 ms':>10} {'p99 ms':>10}"]
+        for name, tracker in self._stages.items():
+            if not tracker.samples:
+                continue
+            summary = tracker.summary_ms()
+            lines.append(
+                f"{name:<28} {summary.mean:>10.3f} {summary.p95:>10.3f} "
+                f"{summary.p99:>10.3f}"
+            )
+        lines.append(f"{'TOTAL (sum of means)':<28} {self.total_mean_ms():>10.3f}")
+        return "\n".join(lines)

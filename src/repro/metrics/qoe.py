@@ -1,0 +1,73 @@
+"""Quality-of-experience models.
+
+Two small models back the Section 3.3 experiments:
+
+* :class:`InteractionQoeModel` maps round-trip interaction latency to task
+  performance following the shape reported by Claypool & Claypool (CACM
+  2006) and restated by the paper: degradation is measurable below 100 ms
+  and users *notice* above ~100 ms, with steep decay beyond.
+* :class:`VideoQoeModel` combines delivered video quality and stalls into a
+  MOS-like 1..5 score, used by the Nebula-style video experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InteractionQoeModel:
+    """Latency → normalized task performance in [0, 1].
+
+    ``performance = 1 / (1 + exp(k * (latency - midpoint)))`` — a logistic
+    whose midpoint defaults to 150 ms with a gentle pre-knee slope, so that
+    at 100 ms performance has already dropped a few percent (the "less
+    noticeable but still measurable" region) and collapses in the hundreds
+    of milliseconds.
+    """
+
+    midpoint_ms: float = 150.0
+    steepness: float = 0.025
+    notice_threshold_ms: float = 100.0
+
+    def performance(self, latency_ms: float) -> float:
+        """Normalized task performance at the given round-trip latency."""
+        if latency_ms < 0:
+            raise ValueError(f"negative latency: {latency_ms}")
+        raw = 1.0 / (1.0 + math.exp(self.steepness * (latency_ms - self.midpoint_ms)))
+        baseline = 1.0 / (1.0 + math.exp(self.steepness * (0.0 - self.midpoint_ms)))
+        return raw / baseline
+
+    def is_noticeable(self, latency_ms: float) -> bool:
+        """Whether users consciously notice the latency (paper: >100 ms)."""
+        return latency_ms > self.notice_threshold_ms
+
+    def degradation(self, latency_ms: float) -> float:
+        """Performance lost relative to zero latency, in [0, 1]."""
+        return 1.0 - self.performance(latency_ms)
+
+
+@dataclass(frozen=True)
+class VideoQoeModel:
+    """(quality, stall ratio, latency) → MOS-like score in [1, 5].
+
+    Quality is a normalized delivered-quality index in [0, 1] (from the
+    codec's rate-distortion model); stalls and latency subtract
+    multiplicatively, following the standard ITU-style QoE shape.
+    """
+
+    stall_penalty: float = 4.0
+    latency_penalty_per_100ms: float = 0.15
+
+    def mos(self, quality: float, stall_ratio: float, latency_ms: float) -> float:
+        if not 0.0 <= quality <= 1.0:
+            raise ValueError(f"quality must be in [0,1], got {quality}")
+        if not 0.0 <= stall_ratio <= 1.0:
+            raise ValueError(f"stall_ratio must be in [0,1], got {stall_ratio}")
+        if latency_ms < 0:
+            raise ValueError(f"negative latency: {latency_ms}")
+        base = 1.0 + 4.0 * quality
+        base -= self.stall_penalty * stall_ratio
+        base -= self.latency_penalty_per_100ms * (latency_ms / 100.0)
+        return float(min(5.0, max(1.0, base)))

@@ -1,0 +1,85 @@
+"""Geographic WAN latency model.
+
+Propagation follows light in fiber (~2/3 c) along a route that is longer
+than the great circle by a *stretch* factor; crossing between poorly-peered
+regions adds a penalty, reproducing the paper's observation that users "far
+away, or on a poorly interconnected network" see round trips in the
+hundreds of milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+import numpy as np
+
+from repro.net.geo import GeoPoint, haversine_km
+
+#: Propagation speed of light in optical fiber, km/s (~0.67 c).
+FIBER_KM_PER_S = 200_000.0
+
+
+def fiber_delay(a: GeoPoint, b: GeoPoint, stretch: float = 1.0) -> float:
+    """One-way propagation delay in seconds over a stretched fiber route."""
+    if stretch < 1.0:
+        raise ValueError(f"route stretch must be >= 1, got {stretch}")
+    return haversine_km(a, b) * stretch / FIBER_KM_PER_S
+
+
+@dataclass
+class WanLatencyModel:
+    """One-way WAN delay between geographic endpoints.
+
+    delay = fiber propagation * stretch
+          + per-hop processing
+          + inter-region peering penalty
+          + exponential jitter (congestion tail)
+
+    ``peering_penalties`` maps unordered region pairs to extra one-way
+    seconds; ``default_cross_region_penalty`` applies to every other
+    cross-region pair.
+    """
+
+    stretch: float = 1.4
+    processing_delay: float = 0.002
+    default_cross_region_penalty: float = 0.010
+    peering_penalties: Dict[FrozenSet[str], float] = field(default_factory=dict)
+    jitter_mean: float = 0.002
+    rng: Optional[np.random.Generator] = None
+
+    def penalty(self, region_a: str, region_b: str) -> float:
+        """One-way peering penalty between two regions (0 within a region)."""
+        if region_a == region_b:
+            return 0.0
+        key = frozenset((region_a, region_b))
+        return self.peering_penalties.get(key, self.default_cross_region_penalty)
+
+    def one_way_delay(
+        self,
+        a: GeoPoint,
+        b: GeoPoint,
+        region_a: str = "default",
+        region_b: str = "default",
+        sample_jitter: bool = True,
+    ) -> float:
+        """One-way delay in seconds; jittered when an rng is configured."""
+        delay = fiber_delay(a, b, self.stretch)
+        delay += self.processing_delay
+        delay += self.penalty(region_a, region_b)
+        if sample_jitter and self.rng is not None and self.jitter_mean > 0:
+            delay += float(self.rng.exponential(self.jitter_mean))
+        return delay
+
+    def rtt(
+        self,
+        a: GeoPoint,
+        b: GeoPoint,
+        region_a: str = "default",
+        region_b: str = "default",
+        sample_jitter: bool = True,
+    ) -> float:
+        """Round-trip time in seconds."""
+        forward = self.one_way_delay(a, b, region_a, region_b, sample_jitter)
+        backward = self.one_way_delay(b, a, region_b, region_a, sample_jitter)
+        return forward + backward

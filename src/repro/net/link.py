@@ -1,0 +1,139 @@
+"""A unidirectional store-and-forward link with queueing, jitter and loss."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.net.packet import Packet
+from repro.simkit.engine import Simulator
+
+
+@dataclass
+class LinkStats:
+    """Counters maintained by a :class:`Link`."""
+
+    offered: int = 0
+    delivered: int = 0
+    dropped_queue: int = 0
+    dropped_loss: int = 0
+    dropped_down: int = 0
+    bytes_delivered: int = 0
+    busy_time: float = 0.0
+    queue_delay_total: float = field(default=0.0)
+
+    @property
+    def loss_fraction(self) -> float:
+        if self.offered == 0:
+            return 0.0
+        dropped = self.dropped_queue + self.dropped_loss + self.dropped_down
+        return dropped / self.offered
+
+
+class Link:
+    """One direction of a wire: rate, propagation delay, jitter, loss.
+
+    Packets serialize one at a time (FIFO) at ``rate_bps``; a packet
+    arriving while the link is busy waits in the output queue, and is
+    dropped if the queued backlog would exceed ``queue_limit_bytes``.
+    Propagation adds ``prop_delay`` plus zero-mean truncated Gaussian jitter;
+    random loss discards the packet after serialization.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        prop_delay: float,
+        jitter_std: float = 0.0,
+        loss_rate: float = 0.0,
+        queue_limit_bytes: Optional[int] = None,
+        name: str = "link",
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        if prop_delay < 0:
+            raise ValueError(f"negative propagation delay: {prop_delay}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate must be in [0,1), got {loss_rate}")
+        self.sim = sim
+        self.rate_bps = float(rate_bps)
+        self.prop_delay = float(prop_delay)
+        self.jitter_std = float(jitter_std)
+        self.loss_rate = float(loss_rate)
+        self.queue_limit_bytes = queue_limit_bytes
+        self.name = name
+        self.stats = LinkStats()
+        self._rng = sim.rng.stream(f"link:{name}")
+        self._busy_until = 0.0
+        self._queued_bytes = 0
+        self.up = True
+
+    def serialization_delay(self, packet: Packet) -> float:
+        return packet.size_bytes * 8.0 / self.rate_bps
+
+    @property
+    def queued_bytes(self) -> int:
+        """Bytes waiting for the transmitter (excludes the packet in service)."""
+        return self._queued_bytes
+
+    def send(self, packet: Packet, deliver: Callable[[Packet], None]) -> bool:
+        """Enqueue ``packet``; ``deliver`` is called on arrival.
+
+        Returns False if the packet was dropped at the queue (``deliver`` is
+        then never invoked; random loss is *not* reported to the sender,
+        exactly like a real wire).
+        """
+        self.stats.offered += 1
+        if not self.up:
+            self.stats.dropped_down += 1
+            return False
+        now = self.sim.now
+        wait = max(0.0, self._busy_until - now)
+        if (
+            self.queue_limit_bytes is not None
+            and wait > 0
+            and self._queued_bytes + packet.size_bytes > self.queue_limit_bytes
+        ):
+            self.stats.dropped_queue += 1
+            return False
+
+        serialization = self.serialization_delay(packet)
+        self._busy_until = now + wait + serialization
+        self.stats.busy_time += serialization
+        self.stats.queue_delay_total += wait
+        if wait > 0:
+            # Only packets waiting for the transmitter occupy the buffer.
+            self._queued_bytes += packet.size_bytes
+            self.sim.call_later(
+                wait,
+                lambda: setattr(
+                    self, "_queued_bytes", self._queued_bytes - packet.size_bytes
+                ),
+            )
+
+        jitter = 0.0
+        if self.jitter_std > 0.0:
+            jitter = abs(float(self._rng.normal(0.0, self.jitter_std)))
+        lost = self.loss_rate > 0.0 and self._rng.random() < self.loss_rate
+        arrival_delay = wait + serialization + self.prop_delay + jitter
+
+        def _complete(packet=packet, lost=lost):
+            if lost:
+                self.stats.dropped_loss += 1
+                return
+            self.stats.delivered += 1
+            self.stats.bytes_delivered += packet.size_bytes
+            deliver(packet)
+
+        self.sim.call_later(arrival_delay, _complete)
+        return True
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Fraction of time spent serializing up to ``horizon`` (or now)."""
+        elapsed = horizon if horizon is not None else self.sim.now
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_time / elapsed)

@@ -1,0 +1,72 @@
+"""Network endpoints and point-to-point wiring."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.simkit.engine import Simulator
+
+
+class Node:
+    """An addressable endpoint that dispatches received packets by kind.
+
+    Handlers are registered per packet ``kind`` (e.g. ``"pose"``,
+    ``"video"``); a default handler catches everything unregistered.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._handlers: Dict[str, Callable[[Packet], None]] = {}
+        self._default_handler: Optional[Callable[[Packet], None]] = None
+        self._links: Dict[str, Link] = {}
+        self.received = 0
+
+    def on(self, kind: str, handler: Callable[[Packet], None]) -> None:
+        """Register ``handler`` for packets of ``kind``."""
+        self._handlers[kind] = handler
+
+    def on_default(self, handler: Callable[[Packet], None]) -> None:
+        self._default_handler = handler
+
+    def receive(self, packet: Packet) -> None:
+        """Entry point links call on delivery."""
+        self.received += 1
+        handler = self._handlers.get(packet.kind, self._default_handler)
+        if handler is None:
+            raise KeyError(
+                f"{self.name}: no handler for packet kind {packet.kind!r}"
+            )
+        handler(packet)
+
+    def attach_link(self, remote_name: str, link: Link) -> None:
+        """Record the outgoing link towards ``remote_name``."""
+        self._links[remote_name] = link
+
+    def link_to(self, remote_name: str) -> Link:
+        try:
+            return self._links[remote_name]
+        except KeyError:
+            raise KeyError(f"{self.name}: no link to {remote_name!r}") from None
+
+    def send(self, remote: "Node", packet: Packet) -> bool:
+        """Send directly to a wired neighbour."""
+        link = self.link_to(remote.name)
+        return link.send(packet, remote.receive)
+
+
+def connect(
+    sim: Simulator,
+    a: Node,
+    b: Node,
+    rate_bps: float,
+    prop_delay: float,
+    **link_kwargs,
+) -> Tuple[Link, Link]:
+    """Wire ``a`` and ``b`` with a symmetric duplex link pair."""
+    forward = Link(sim, rate_bps, prop_delay, name=f"{a.name}->{b.name}", **link_kwargs)
+    backward = Link(sim, rate_bps, prop_delay, name=f"{b.name}->{a.name}", **link_kwargs)
+    a.attach_link(b.name, forward)
+    b.attach_link(a.name, backward)
+    return forward, backward

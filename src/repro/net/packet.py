@@ -1,0 +1,45 @@
+"""The unit of network transmission."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+_PACKET_IDS = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A datagram moving through the simulated network.
+
+    ``size_bytes`` drives serialization delay and queue occupancy; the
+    ``payload`` is opaque to the network and carried by reference.  ``meta``
+    is scratch space for transports (sequence numbers, FEC generation ids)
+    so application payloads stay untouched.
+    """
+
+    src: str
+    dst: str
+    size_bytes: int
+    kind: str = "data"
+    payload: Any = None
+    created_at: float = 0.0
+    pid: int = field(default_factory=lambda: next(_PACKET_IDS))
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size_bytes}")
+
+    def clone(self) -> "Packet":
+        """A copy with a fresh packet id (used for retransmissions)."""
+        return Packet(
+            src=self.src,
+            dst=self.dst,
+            size_bytes=self.size_bytes,
+            kind=self.kind,
+            payload=self.payload,
+            created_at=self.created_at,
+            meta=dict(self.meta),
+        )

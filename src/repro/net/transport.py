@@ -1,0 +1,181 @@
+"""Datagram and reliable transports over path channels.
+
+The sync protocol rides the unreliable datagram channel (a late pose update
+is worthless); video control, slides and the content ledger use the
+reliable channel, a miniature ARQ with Jacobson/Karels RTO estimation and
+in-order delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.net.packet import Packet
+from repro.simkit.engine import Simulator
+
+
+class DatagramChannel:
+    """Fire-and-forget wrapper around any ``send(packet, deliver)`` channel."""
+
+    def __init__(self, sim: Simulator, channel, src: str, dst: str):
+        self.sim = sim
+        self.channel = channel
+        self.src = src
+        self.dst = dst
+        self.sent = 0
+
+    def send(
+        self,
+        payload: Any,
+        size_bytes: int,
+        kind: str = "data",
+        deliver: Optional[Callable[[Packet], None]] = None,
+    ) -> Packet:
+        packet = Packet(
+            src=self.src,
+            dst=self.dst,
+            size_bytes=size_bytes,
+            kind=kind,
+            payload=payload,
+            created_at=self.sim.now,
+        )
+        self.sent += 1
+        self.channel.send(packet, deliver if deliver is not None else lambda _p: None)
+        return packet
+
+
+@dataclass
+class _Outstanding:
+    packet: Packet
+    sent_at: float
+    retries: int = 0
+
+
+class ReliableChannel:
+    """Stop-and-go ARQ with per-packet retransmission and in-order delivery.
+
+    Every data packet is acknowledged over the reverse channel.  The
+    retransmission timeout follows the classic SRTT/RTTVAR estimator
+    (``RTO = SRTT + 4 * RTTVAR``) with exponential backoff, and delivery to
+    the application callback is strictly in sequence-number order.
+    """
+
+    ACK_SIZE = 40
+
+    def __init__(
+        self,
+        sim: Simulator,
+        forward_channel,
+        reverse_channel,
+        src: str,
+        dst: str,
+        on_deliver: Callable[[Any], None],
+        initial_rto: float = 0.2,
+        max_retries: int = 10,
+    ):
+        self.sim = sim
+        self.forward = forward_channel
+        self.reverse = reverse_channel
+        self.src = src
+        self.dst = dst
+        self.on_deliver = on_deliver
+        self.max_retries = max_retries
+        self._next_seq = 0
+        self._expected_seq = 0
+        self._reorder: Dict[int, Any] = {}
+        self._outstanding: Dict[int, _Outstanding] = {}
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
+        self._rto = initial_rto
+        self.retransmissions = 0
+        self.delivered = 0
+        self.failed = 0
+
+    @property
+    def rto(self) -> float:
+        return self._rto
+
+    def send(self, payload: Any, size_bytes: int, kind: str = "reliable") -> int:
+        """Queue ``payload`` for reliable delivery; returns its sequence no."""
+        seq = self._next_seq
+        self._next_seq += 1
+        packet = Packet(
+            src=self.src,
+            dst=self.dst,
+            size_bytes=size_bytes,
+            kind=kind,
+            payload=payload,
+            created_at=self.sim.now,
+        )
+        packet.meta["seq"] = seq
+        self._transmit(seq, packet)
+        return seq
+
+    # -- sender internals ----------------------------------------------------
+
+    def _transmit(self, seq: int, packet: Packet) -> None:
+        entry = self._outstanding.get(seq)
+        if entry is None:
+            entry = _Outstanding(packet=packet, sent_at=self.sim.now)
+            self._outstanding[seq] = entry
+        else:
+            entry.sent_at = self.sim.now
+        wire_packet = packet.clone()
+        wire_packet.meta["seq"] = seq
+        self.forward.send(wire_packet, self._on_receiver_side)
+        rto = self._rto * (2 ** entry.retries)
+        self.sim.call_later(rto, lambda: self._check_timeout(seq))
+
+    def _check_timeout(self, seq: int) -> None:
+        entry = self._outstanding.get(seq)
+        if entry is None:
+            return  # acked in the meantime
+        entry.retries += 1
+        if entry.retries > self.max_retries:
+            del self._outstanding[seq]
+            self.failed += 1
+            return
+        self.retransmissions += 1
+        self._transmit(seq, entry.packet)
+
+    def _on_ack(self, packet: Packet) -> None:
+        seq = packet.meta["seq"]
+        entry = self._outstanding.pop(seq, None)
+        if entry is None:
+            return  # duplicate ack
+        if entry.retries == 0:
+            # Karn's algorithm: only sample RTT from unambiguous exchanges.
+            self._update_rto(self.sim.now - entry.sent_at)
+
+    def _update_rto(self, sample: float) -> None:
+        if self._srtt is None:
+            self._srtt = sample
+            self._rttvar = sample / 2.0
+        else:
+            alpha, beta = 1.0 / 8.0, 1.0 / 4.0
+            self._rttvar = (1 - beta) * self._rttvar + beta * abs(self._srtt - sample)
+            self._srtt = (1 - alpha) * self._srtt + alpha * sample
+        self._rto = max(0.02, self._srtt + 4.0 * self._rttvar)
+
+    # -- receiver internals ---------------------------------------------------
+
+    def _on_receiver_side(self, packet: Packet) -> None:
+        seq = packet.meta["seq"]
+        ack = Packet(
+            src=self.dst,
+            dst=self.src,
+            size_bytes=self.ACK_SIZE,
+            kind="ack",
+            created_at=self.sim.now,
+        )
+        ack.meta["seq"] = seq
+        self.reverse.send(ack, self._on_ack)
+        if seq < self._expected_seq or seq in self._reorder:
+            return  # duplicate data
+        self._reorder[seq] = packet.payload
+        while self._expected_seq in self._reorder:
+            payload = self._reorder.pop(self._expected_seq)
+            self._expected_seq += 1
+            self.delivered += 1
+            self.on_deliver(payload)

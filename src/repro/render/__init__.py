@@ -1,0 +1,28 @@
+"""Rendering: device pipelines, LOD under budget, remote rendering.
+
+The paper warns that finely-sensed avatars "may be too complex to render
+with WebGL and lightweight VR headsets" and proposes "render[ing] a
+low-quality version of the models on-device and merg[ing] the rendered
+frame with high-quality frames rendered in the cloud" (Outatime-style
+speculation).  This package models device render cost, vsync'd displays,
+frame budgets for LOD selection, and the three rendering modes the C3c
+experiment compares.
+"""
+
+from repro.render.budget import FrameBudget
+from repro.render.display import DisplayModel
+from repro.render.foveated import FoveationConfig, foveated_cost_factor
+from repro.render.pipeline import DEVICE_PROFILES, DeviceProfile, RenderPipeline
+from repro.render.remote import CollaborativeRenderer, RemoteRenderConfig
+
+__all__ = [
+    "CollaborativeRenderer",
+    "DEVICE_PROFILES",
+    "DeviceProfile",
+    "DisplayModel",
+    "FoveationConfig",
+    "FrameBudget",
+    "RemoteRenderConfig",
+    "RenderPipeline",
+    "foveated_cost_factor",
+]

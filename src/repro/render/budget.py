@@ -1,0 +1,70 @@
+"""Frame budgets and LOD planning for a roomful of avatars."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.avatar.lod import LodLevel, select_lod, total_quality, total_triangles
+from repro.render.display import DisplayModel
+from repro.render.pipeline import DeviceProfile
+
+
+class FrameBudget:
+    """Plans each frame's avatar LOD set for a device + display pair."""
+
+    def __init__(
+        self,
+        device: DeviceProfile,
+        display: DisplayModel = DisplayModel(),
+        scene_overhead_triangles: int = 200_000,
+    ):
+        if scene_overhead_triangles < 0:
+            raise ValueError("scene overhead must be >= 0")
+        self.device = device
+        self.display = display
+        self.scene_overhead = int(scene_overhead_triangles)
+
+    def avatar_triangle_budget(self) -> int:
+        """Triangles left for avatars after the static scene."""
+        headroom = self.display.frame_period - self.device.base_frame_cost_s
+        if headroom <= 0:
+            return 0
+        total = int(headroom * self.device.triangles_per_second)
+        return max(0, total - self.scene_overhead)
+
+    def plan(
+        self, avatars: Sequence[Tuple[str, float, float]]
+    ) -> Dict[str, LodLevel]:
+        """LOD per avatar: ``avatars`` is [(id, distance_m, importance)]."""
+        return select_lod(list(avatars), self.avatar_triangle_budget())
+
+    def plan_report(
+        self, avatars: Sequence[Tuple[str, float, float]]
+    ) -> "BudgetReport":
+        assignment = self.plan(avatars)
+        triangles = total_triangles(assignment) + self.scene_overhead
+        return BudgetReport(
+            assignment=assignment,
+            total_triangles=triangles,
+            frame_time=self.device.frame_time(triangles),
+            frame_period=self.display.frame_period,
+            quality=total_quality(assignment),
+        )
+
+
+class BudgetReport:
+    """Outcome of one frame plan."""
+
+    def __init__(self, assignment, total_triangles, frame_time, frame_period, quality):
+        self.assignment = assignment
+        self.total_triangles = total_triangles
+        self.frame_time = frame_time
+        self.frame_period = frame_period
+        self.quality = quality
+
+    @property
+    def fits(self) -> bool:
+        return self.frame_time <= self.frame_period
+
+    def levels(self) -> List[str]:
+        return sorted(level.name for level in self.assignment.values())

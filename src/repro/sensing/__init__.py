@@ -1,0 +1,31 @@
+"""Participant sensing: headset trackers, room sensors, fusion, expressions.
+
+Figure 3 of the paper: participants "wear MR headsets that can track their
+locations and other features, such as facial expressions", while the room
+is "equipped with non-intrusive sensors that can estimate the exact pose of
+the participants"; the edge server "aggregates the data to estimate the
+pose and facial expression".  This package provides those three stages as
+statistical models over ground-truth motion traces.
+"""
+
+from repro.sensing.expression import ExpressionCapture, ExpressionState
+from repro.sensing.fusion import PoseFusionFilter
+from repro.sensing.headset import HeadsetTracker, PoseSample
+from repro.sensing.pose import Pose, quat_angle, quat_from_axis_angle, slerp
+from repro.sensing.quantize import PoseQuantizer, QuantizationConfig
+from repro.sensing.sensor import RoomSensorArray
+
+__all__ = [
+    "ExpressionCapture",
+    "ExpressionState",
+    "HeadsetTracker",
+    "Pose",
+    "PoseFusionFilter",
+    "PoseQuantizer",
+    "PoseSample",
+    "QuantizationConfig",
+    "RoomSensorArray",
+    "quat_angle",
+    "quat_from_axis_angle",
+    "slerp",
+]

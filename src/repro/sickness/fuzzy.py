@@ -1,0 +1,138 @@
+"""A small Mamdani fuzzy-inference engine.
+
+Built from scratch (no fuzzy library is available offline): triangular
+membership functions, min-AND rule firing, max aggregation, and centroid
+defuzzification over a discretized output universe.  Used by the
+individual-susceptibility model (Wang et al., IEEE VR 2021 use fuzzy
+logic for exactly this purpose) and available as a general substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TriangularMF:
+    """A triangular membership function over [a, c] peaking at b.
+
+    Degenerate shoulders are allowed: ``a == b`` makes a left shoulder
+    (full membership from the left edge), ``b == c`` a right shoulder.
+    """
+
+    a: float
+    b: float
+    c: float
+
+    def __post_init__(self):
+        if not self.a <= self.b <= self.c:
+            raise ValueError(f"need a <= b <= c, got {(self.a, self.b, self.c)}")
+        if self.a == self.c:
+            raise ValueError("degenerate membership function (a == c)")
+
+    def __call__(self, x: float) -> float:
+        if x <= self.a:
+            return 1.0 if self.a == self.b else 0.0
+        if x >= self.c:
+            return 1.0 if self.b == self.c else 0.0
+        if x == self.b:
+            return 1.0
+        if x < self.b:
+            return (x - self.a) / (self.b - self.a)
+        return (self.c - x) / (self.c - self.b)
+
+
+@dataclass
+class FuzzyVariable:
+    """A named variable with labelled terms over a universe."""
+
+    name: str
+    universe: Tuple[float, float]
+    terms: Dict[str, TriangularMF] = field(default_factory=dict)
+
+    def __post_init__(self):
+        lo, hi = self.universe
+        if lo >= hi:
+            raise ValueError("universe must be a non-empty interval")
+        if not self.terms:
+            raise ValueError(f"variable {self.name!r} needs at least one term")
+
+    def membership(self, term: str, x: float) -> float:
+        try:
+            mf = self.terms[term]
+        except KeyError:
+            raise KeyError(f"{self.name!r} has no term {term!r}") from None
+        lo, hi = self.universe
+        return mf(float(np.clip(x, lo, hi)))
+
+
+@dataclass(frozen=True)
+class FuzzyRule:
+    """IF all antecedents THEN consequent-term (Mamdani, AND = min)."""
+
+    antecedents: Mapping[str, str]   # variable name -> term
+    consequent_term: str
+
+    def __post_init__(self):
+        if not self.antecedents:
+            raise ValueError("a rule needs at least one antecedent")
+
+
+class FuzzySystem:
+    """Inputs + one output variable + rules."""
+
+    def __init__(
+        self,
+        inputs: List[FuzzyVariable],
+        output: FuzzyVariable,
+        rules: List[FuzzyRule],
+        resolution: int = 201,
+    ):
+        if not rules:
+            raise ValueError("need at least one rule")
+        self.inputs = {var.name: var for var in inputs}
+        self.output = output
+        self.rules = list(rules)
+        self.resolution = int(resolution)
+        for rule in self.rules:
+            for var_name, term in rule.antecedents.items():
+                if var_name not in self.inputs:
+                    raise KeyError(f"rule references unknown input {var_name!r}")
+                if term not in self.inputs[var_name].terms:
+                    raise KeyError(
+                        f"input {var_name!r} has no term {term!r}"
+                    )
+            if rule.consequent_term not in output.terms:
+                raise KeyError(
+                    f"output has no term {rule.consequent_term!r}"
+                )
+
+    def rule_strength(self, rule: FuzzyRule, values: Mapping[str, float]) -> float:
+        strengths = []
+        for var_name, term in rule.antecedents.items():
+            if var_name not in values:
+                raise KeyError(f"missing input value for {var_name!r}")
+            strengths.append(self.inputs[var_name].membership(term, values[var_name]))
+        return min(strengths)
+
+    def evaluate(self, values: Mapping[str, float]) -> float:
+        """Centroid-defuzzified output for crisp input values."""
+        lo, hi = self.output.universe
+        xs = np.linspace(lo, hi, self.resolution)
+        aggregated = np.zeros_like(xs)
+        fired = False
+        for rule in self.rules:
+            strength = self.rule_strength(rule, values)
+            if strength <= 0.0:
+                continue
+            fired = True
+            mf = self.output.terms[rule.consequent_term]
+            clipped = np.minimum(strength, [mf(float(x)) for x in xs])
+            aggregated = np.maximum(aggregated, clipped)
+        if not fired or aggregated.sum() == 0.0:
+            # No rule fired: fall back to the universe midpoint.
+            return (lo + hi) / 2.0
+        return float(np.sum(xs * aggregated) / np.sum(aggregated))

@@ -1,0 +1,59 @@
+"""Cybersickness mitigations the classroom can deploy.
+
+The paper cites Wang et al.'s *speed protector* (optimizing navigation
+speed profiles) [43]; dynamic FOV restriction (vignetting) is the other
+widely deployed mitigation.  Both transform an
+:class:`~repro.sickness.conflict.ExposureConfig` into a gentler one, at a
+cost the experiments make visible (slower travel, less peripheral vision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.sickness.conflict import ExposureConfig
+
+
+@dataclass(frozen=True)
+class SpeedProtector:
+    """Caps smooth-locomotion speed (and implies gentler acceleration)."""
+
+    max_speed_m_s: float = 1.0
+
+    def __post_init__(self):
+        if self.max_speed_m_s <= 0:
+            raise ValueError("max speed must be positive")
+
+    def apply(self, config: ExposureConfig) -> ExposureConfig:
+        return replace(
+            config,
+            navigation_speed_m_s=min(config.navigation_speed_m_s, self.max_speed_m_s),
+        )
+
+    def travel_time_factor(self, config: ExposureConfig) -> float:
+        """How much longer journeys take under the cap (>= 1)."""
+        if config.navigation_speed_m_s <= self.max_speed_m_s:
+            return 1.0
+        return config.navigation_speed_m_s / self.max_speed_m_s
+
+
+@dataclass(frozen=True)
+class FovVignette:
+    """Restricts FOV during locomotion to cut peripheral optic flow."""
+
+    restricted_fov_deg: float = 60.0
+
+    def __post_init__(self):
+        if not 10.0 <= self.restricted_fov_deg <= 360.0:
+            raise ValueError("restricted FOV out of range")
+
+    def apply(self, config: ExposureConfig) -> ExposureConfig:
+        return replace(
+            config, fov_deg=min(config.fov_deg, self.restricted_fov_deg)
+        )
+
+    def visibility_cost(self, config: ExposureConfig) -> float:
+        """Fraction of the original FOV lost while vignetting (0-1)."""
+        if config.fov_deg <= self.restricted_fov_deg:
+            return 0.0
+        return 1.0 - self.restricted_fov_deg / config.fov_deg

@@ -1,0 +1,100 @@
+"""Individual cybersickness susceptibility via fuzzy logic.
+
+The paper (citing Wang et al., IEEE VR 2021) proposes involving individual
+differences — gender, gaming experience, age, ethnic origin — through
+fuzzy logic.  Age and weekly gaming hours are the fuzzy inputs (the two
+with the strongest, most monotone support in the literature); gender and
+prior-VR exposure apply as crisp multipliers on the defuzzified output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sickness.fuzzy import FuzzyRule, FuzzySystem, FuzzyVariable, TriangularMF
+
+
+@dataclass(frozen=True)
+class UserTraits:
+    """Individual factors of one participant."""
+
+    age_years: float = 25.0
+    gaming_hours_per_week: float = 2.0
+    gender: str = "unspecified"     # "female" reported ~1.2x in several studies
+    prior_vr_sessions: int = 0
+
+    def __post_init__(self):
+        if not 5.0 <= self.age_years <= 100.0:
+            raise ValueError("age out of modelled range [5, 100]")
+        if self.gaming_hours_per_week < 0:
+            raise ValueError("gaming hours must be >= 0")
+        if self.prior_vr_sessions < 0:
+            raise ValueError("prior sessions must be >= 0")
+
+
+def susceptibility_system() -> FuzzySystem:
+    """The fuzzy system: (age, gaming) -> susceptibility multiplier.
+
+    Output universe [0.5, 2.0]: 1.0 is the population baseline; heavy
+    gamers bottom out near 0.6, older non-gamers reach ~1.8.
+    """
+    age = FuzzyVariable(
+        "age",
+        universe=(5.0, 100.0),
+        terms={
+            "young": TriangularMF(5.0, 5.0, 30.0),
+            "middle": TriangularMF(20.0, 40.0, 60.0),
+            "older": TriangularMF(45.0, 100.0, 100.0),
+        },
+    )
+    gaming = FuzzyVariable(
+        "gaming",
+        universe=(0.0, 30.0),
+        terms={
+            "none": TriangularMF(0.0, 0.0, 3.0),
+            "casual": TriangularMF(1.0, 5.0, 10.0),
+            "heavy": TriangularMF(7.0, 30.0, 30.0),
+        },
+    )
+    susceptibility = FuzzyVariable(
+        "susceptibility",
+        universe=(0.5, 2.0),
+        terms={
+            "low": TriangularMF(0.5, 0.5, 1.0),
+            "medium": TriangularMF(0.7, 1.0, 1.4),
+            "high": TriangularMF(1.1, 2.0, 2.0),
+        },
+    )
+    rules = [
+        FuzzyRule({"age": "young", "gaming": "heavy"}, "low"),
+        FuzzyRule({"age": "young", "gaming": "casual"}, "medium"),
+        FuzzyRule({"age": "young", "gaming": "none"}, "medium"),
+        FuzzyRule({"age": "middle", "gaming": "heavy"}, "low"),
+        FuzzyRule({"age": "middle", "gaming": "casual"}, "medium"),
+        FuzzyRule({"age": "middle", "gaming": "none"}, "high"),
+        FuzzyRule({"age": "older", "gaming": "heavy"}, "medium"),
+        FuzzyRule({"age": "older", "gaming": "casual"}, "high"),
+        FuzzyRule({"age": "older", "gaming": "none"}, "high"),
+    ]
+    return FuzzySystem([age, gaming], susceptibility, rules)
+
+
+#: Crisp adjustments applied after defuzzification.
+GENDER_MULTIPLIERS = {"female": 1.15, "male": 0.95, "unspecified": 1.0}
+HABITUATION_PER_SESSION = 0.03   # prior VR exposure habituates
+HABITUATION_FLOOR = 0.6
+
+
+def susceptibility_of(traits: UserTraits, system: FuzzySystem = None) -> float:
+    """The full susceptibility multiplier for one user."""
+    if system is None:
+        system = susceptibility_system()
+    base = system.evaluate({
+        "age": traits.age_years,
+        "gaming": traits.gaming_hours_per_week,
+    })
+    gender = GENDER_MULTIPLIERS.get(traits.gender, 1.0)
+    habituation = max(
+        HABITUATION_FLOOR, 1.0 - HABITUATION_PER_SESSION * traits.prior_vr_sessions
+    )
+    return base * gender * habituation

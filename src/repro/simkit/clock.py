@@ -1,0 +1,65 @@
+"""Per-device virtual clocks with offset and drift.
+
+Distributed components (headsets, edge servers, the cloud) do not share the
+simulator's global clock; each reads a :class:`VirtualClock` whose value
+differs from true simulation time by a fixed offset plus linear drift.  The
+NTP-style synchronizer in :mod:`repro.sync.timesync` estimates and corrects
+these errors the way a real deployment would.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkit.engine import Simulator
+
+
+class VirtualClock:
+    """A clock reading ``offset + (1 + drift_ppm * 1e-6) * true_time``.
+
+    Parameters
+    ----------
+    sim:
+        The simulator providing true time.
+    offset:
+        Initial offset in seconds (positive = clock runs ahead).
+    drift_ppm:
+        Frequency error in parts per million; consumer crystal oscillators
+        are typically within +/-50 ppm.
+    """
+
+    def __init__(self, sim: "Simulator", offset: float = 0.0, drift_ppm: float = 0.0):
+        self.sim = sim
+        self._offset = float(offset)
+        self._drift = float(drift_ppm) * 1e-6
+        self._epoch = sim.now
+
+    @property
+    def drift_ppm(self) -> float:
+        return self._drift * 1e6
+
+    def read(self) -> float:
+        """The local time this clock currently shows."""
+        elapsed = self.sim.now - self._epoch
+        return self._offset + self._epoch + elapsed * (1.0 + self._drift)
+
+    def error(self) -> float:
+        """Current difference between local and true time (seconds)."""
+        return self.read() - self.sim.now
+
+    def adjust(self, delta: float) -> None:
+        """Step the clock by ``delta`` seconds (e.g. after an NTP exchange)."""
+        self._offset += float(delta)
+
+    def discipline(self, drift_correction_ppm: float) -> None:
+        """Trim the frequency error by ``drift_correction_ppm``.
+
+        Rebases the epoch first so already-accumulated error is preserved and
+        only the forward rate changes — mirroring how ``adjtime`` slews a
+        real clock.
+        """
+        now_local = self.read()
+        self._epoch = self.sim.now
+        self._offset = now_local - self._epoch
+        self._drift -= float(drift_correction_ppm) * 1e-6

@@ -1,0 +1,141 @@
+"""The simulator event loop."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Optional
+
+from repro.simkit.errors import SimkitError
+from repro.simkit.event import AllOf, AnyOf, Event, Timeout
+from repro.simkit.process import Process
+from repro.simkit.rng import RngRegistry
+from repro.simkit.trace import Tracer
+
+
+class Simulator:
+    """Discrete-event simulator with a float clock in seconds.
+
+    The loop pops ``(time, priority, sequence, event)`` entries off a binary
+    heap; the monotonically increasing sequence number makes execution order
+    deterministic for same-time events, which in turn makes every run
+    reproducible from the seed alone.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the :class:`~repro.simkit.rng.RngRegistry`; every
+        component should draw randomness from :attr:`rng` streams.
+    trace:
+        If True, keep a structured :class:`~repro.simkit.trace.Tracer` that
+        components may record into.
+    """
+
+    #: Priority used for ordinary events.
+    PRIORITY_NORMAL = 1
+    #: Priority for urgent bookkeeping (runs before normal events at a time).
+    PRIORITY_URGENT = 0
+
+    def __init__(self, seed: int = 0, trace: bool = False):
+        self._now = 0.0
+        self._queue: list = []
+        self._sequence = itertools.count()
+        self.rng = RngRegistry(seed)
+        self.tracer = Tracer(self) if trace else None
+        self._active_process: Optional[Process] = None
+
+    # -- clock --------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories ------------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh pending event; fire it with ``succeed`` / ``fail``."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Run ``generator`` as a cooperative process."""
+        return Process(self, generator)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    def call_at(self, when: float, func: Callable[[], None]) -> Event:
+        """Invoke ``func()`` at absolute time ``when`` (>= now)."""
+        if when < self._now:
+            raise SimkitError(f"call_at into the past: {when} < {self._now}")
+        event = self.timeout(when - self._now)
+        event._add_callback(lambda _evt: func())
+        return event
+
+    def call_later(self, delay: float, func: Callable[[], None]) -> Event:
+        """Invoke ``func()`` after ``delay`` seconds."""
+        event = self.timeout(delay)
+        event._add_callback(lambda _evt: func())
+        return event
+
+    # -- scheduling internals --------------------------------------------------
+
+    def _enqueue_at(self, when: float, event: Event, priority: int = 1) -> None:
+        heapq.heappush(self._queue, (when, priority, next(self._sequence), event))
+
+    def _enqueue_triggered(self, event: Event) -> None:
+        self._enqueue_at(self._now, event, Simulator.PRIORITY_URGENT)
+
+    # -- running -----------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimkitError("step() on an empty schedule")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the schedule drains or the clock reaches ``until``.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so back-to-back ``run`` calls
+        tile the timeline predictably.
+        """
+        if until is not None and until < self._now:
+            raise SimkitError(f"run(until={until}) is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def run_process(self, generator: Generator, until: Optional[float] = None) -> Any:
+        """Convenience: run ``generator`` as a process to completion.
+
+        Returns the process's return value.  Raises if the process fails or
+        (with ``until``) does not finish in time.
+        """
+        proc = self.process(generator)
+        self.run(until)
+        if not proc.triggered:
+            raise SimkitError("process did not finish before the horizon")
+        return proc.value

@@ -1,0 +1,32 @@
+"""Exception types used by the simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimkitError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class StopProcess(Exception):
+    """Raised inside a process generator to terminate it with a value.
+
+    ``return value`` inside a generator is the idiomatic way to finish; this
+    exception exists for code that must abort from a helper several frames
+    deep without threading a sentinel back up.
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries whatever the interrupter passed to
+    :meth:`repro.simkit.process.Process.interrupt`.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause

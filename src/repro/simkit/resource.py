@@ -1,0 +1,147 @@
+"""Contention primitives: capacity-limited resources and item stores."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Optional
+
+from repro.simkit.errors import SimkitError
+from repro.simkit.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkit.engine import Simulator
+
+
+class _Request(Event):
+    """Grant event returned by :meth:`Resource.request`."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+
+
+class Resource:
+    """A resource with ``capacity`` interchangeable slots.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ... hold the slot ...
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._users: set = set()
+        self._waiting: Deque[_Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> _Request:
+        """Ask for a slot; the returned event fires when granted."""
+        req = _Request(self)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: _Request) -> None:
+        """Return a granted slot; hands it to the next waiter FIFO."""
+        if request in self._users:
+            self._users.remove(request)
+        elif request in self._waiting:
+            # Cancelled before the grant — just drop it from the queue.
+            self._waiting.remove(request)
+            return
+        else:
+            raise SimkitError("release() of a request this resource never granted")
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.add(nxt)
+            nxt.succeed()
+
+
+class _StoreGet(Event):
+    pass
+
+
+class _StorePut(Event):
+    def __init__(self, sim: "Simulator", item: Any):
+        super().__init__(sim)
+        self.item = item
+
+
+class Store:
+    """A FIFO buffer of items with optional capacity.
+
+    ``put(item)`` returns an event that fires once the item is accepted;
+    ``get()`` returns an event that fires with the next item.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[_StoreGet] = deque()
+        self._putters: Deque[_StorePut] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> _StorePut:
+        event = _StorePut(self.sim, item)
+        if not self.is_full:
+            self.items.append(item)
+            event.succeed()
+            self._serve_getters()
+        else:
+            self._putters.append(event)
+        return event
+
+    def get(self) -> _StoreGet:
+        event = _StoreGet(self.sim)
+        self._getters.append(event)
+        self._serve_getters()
+        return event
+
+    def try_get(self) -> Any:
+        """Synchronous pop: the next item, or None if empty."""
+        if not self.items or self._getters:
+            return None
+        item = self.items.popleft()
+        self._admit_putters()
+        return item
+
+    def _serve_getters(self) -> None:
+        while self._getters and self.items:
+            getter = self._getters.popleft()
+            getter.succeed(self.items.popleft())
+            self._admit_putters()
+
+    def _admit_putters(self) -> None:
+        while self._putters and not self.is_full:
+            putter = self._putters.popleft()
+            self.items.append(putter.item)
+            putter.succeed()

@@ -1,0 +1,59 @@
+"""Structured event tracing for debugging and measurement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkit.engine import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    category: str
+    message: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{key}={value}" for key, value in self.fields.items())
+        return f"[{self.time:12.6f}] {self.category}: {self.message} {extras}".rstrip()
+
+
+class Tracer:
+    """Append-only trace log with category filtering.
+
+    Keeps at most ``limit`` records (oldest dropped) so long simulations do
+    not grow without bound.
+    """
+
+    def __init__(self, sim: "Simulator", limit: int = 100_000):
+        self.sim = sim
+        self.limit = limit
+        self.records: List[TraceRecord] = []
+        self._dropped = 0
+
+    def record(self, category: str, message: str, **fields: Any) -> None:
+        """Log one record stamped with the current simulation time."""
+        self.records.append(TraceRecord(self.sim.now, category, message, fields))
+        if len(self.records) > self.limit:
+            overflow = len(self.records) - self.limit
+            del self.records[:overflow]
+            self._dropped += overflow
+
+    @property
+    def dropped(self) -> int:
+        """Records discarded due to the size limit."""
+        return self._dropped
+
+    def select(self, category: Optional[str] = None) -> Iterator[TraceRecord]:
+        """Iterate records, optionally restricted to one category."""
+        for record in self.records:
+            if category is None or record.category == category:
+                yield record
+
+    def count(self, category: Optional[str] = None) -> int:
+        return sum(1 for _ in self.select(category))

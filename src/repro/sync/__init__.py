@@ -1,0 +1,37 @@
+"""Real-time state synchronization of the shared classroom world.
+
+Section 3.3: "Developing such a classroom raises significant challenges
+related to the synchronization of a large number of entities within a
+single digital space ... users' actions need to be synchronized in
+real-time to enable seamless interaction."  This package provides the
+tick-based authoritative server, delta encoding, interest management,
+client-side prediction, NTP-style clock sync, and the consistency metrics
+the scaling experiments (C3a) measure.
+"""
+
+from repro.sync.client import SyncClient
+from repro.sync.consistency import ConsistencyProbe
+from repro.sync.delta import DeltaEncoder, WorldState
+from repro.sync.interest import InterestConfig, InterestManager
+from repro.sync.migration import MigratableClient
+from repro.sync.prediction import MoveInput, PredictedAvatar
+from repro.sync.protocol import ClientUpdate, ServerSnapshot
+from repro.sync.server import ServerCostModel, SyncServer
+from repro.sync.timesync import NtpSynchronizer
+
+__all__ = [
+    "ClientUpdate",
+    "MigratableClient",
+    "MoveInput",
+    "PredictedAvatar",
+    "ConsistencyProbe",
+    "DeltaEncoder",
+    "InterestConfig",
+    "InterestManager",
+    "NtpSynchronizer",
+    "ServerCostModel",
+    "ServerSnapshot",
+    "SyncClient",
+    "SyncServer",
+    "WorldState",
+]

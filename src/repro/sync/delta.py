@@ -1,0 +1,90 @@
+"""World state and per-client delta encoding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.avatar.state import AvatarState
+
+
+@dataclass
+class WorldState:
+    """The authoritative set of entity states, versioned by sequence."""
+
+    entities: Dict[str, AvatarState] = field(default_factory=dict)
+    version: int = 0
+
+    def apply(self, state: AvatarState) -> None:
+        """Insert/overwrite an entity if the update is not stale."""
+        existing = self.entities.get(state.participant_id)
+        if existing is not None and state.seq <= existing.seq:
+            return  # stale or duplicate update
+        self.entities[state.participant_id] = state
+        self.version += 1
+
+    def remove(self, participant_id: str) -> None:
+        if participant_id in self.entities:
+            del self.entities[participant_id]
+            self.version += 1
+
+    def positions(self) -> Dict[str, "object"]:
+        return {
+            entity_id: state.pose.position
+            for entity_id, state in self.entities.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self.entities)
+
+
+class DeltaEncoder:
+    """Tracks what each subscriber has seen and encodes the difference.
+
+    For every subscriber the encoder remembers the last sequence number
+    sent per entity; a delta contains only entities whose sequence moved,
+    entities that entered the relevant set, and a removal list for entities
+    that left it.  ``keyframe_interval`` forces periodic full snapshots so
+    joiners and loss recover.
+    """
+
+    def __init__(self, keyframe_interval: int = 30):
+        if keyframe_interval < 1:
+            raise ValueError("keyframe interval must be >= 1")
+        self.keyframe_interval = keyframe_interval
+        self._seen: Dict[str, Dict[str, int]] = {}
+        self._ticks_since_keyframe: Dict[str, int] = {}
+
+    def encode(
+        self,
+        subscriber_id: str,
+        world: WorldState,
+        relevant: Set[str],
+    ) -> tuple:
+        """(states to send, removed ids, is_full) for this subscriber."""
+        seen = self._seen.setdefault(subscriber_id, {})
+        ticks = self._ticks_since_keyframe.get(subscriber_id, 0)
+        force_full = ticks >= self.keyframe_interval or not seen
+        states: List[AvatarState] = []
+        for entity_id in relevant:
+            state = world.entities.get(entity_id)
+            if state is None:
+                continue
+            if force_full or seen.get(entity_id, -1) < state.seq:
+                states.append(state)
+        removed = [entity_id for entity_id in seen if entity_id not in relevant]
+        # Update bookkeeping.
+        for state in states:
+            seen[state.participant_id] = state.seq
+        for entity_id in removed:
+            del seen[entity_id]
+        self._ticks_since_keyframe[subscriber_id] = 0 if force_full else ticks + 1
+        return states, removed, force_full
+
+    def forget(self, subscriber_id: str) -> None:
+        """Drop a disconnected subscriber's bookkeeping."""
+        self._seen.pop(subscriber_id, None)
+        self._ticks_since_keyframe.pop(subscriber_id, None)
+
+    def acked_seq(self, subscriber_id: str, entity_id: str) -> Optional[int]:
+        return self._seen.get(subscriber_id, {}).get(entity_id)

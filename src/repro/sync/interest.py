@@ -1,0 +1,80 @@
+"""Interest management: which entities does each client need?
+
+With thousands of participants, broadcasting everyone to everyone is
+quadratic in bandwidth.  Relevance here combines the classic area-of-
+interest radius with a nearest-k cap and an always-relevant set (the
+instructor, active speakers) — the scheme the C3a experiment ablates
+against full broadcast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class InterestConfig:
+    """Relevance policy parameters."""
+
+    radius_m: float = 10.0
+    max_entities: int = 50
+    always_relevant: frozenset = field(default_factory=frozenset)
+
+    def __post_init__(self):
+        if self.radius_m <= 0:
+            raise ValueError("radius must be positive")
+        if self.max_entities < 1:
+            raise ValueError("max_entities must be >= 1")
+
+
+class InterestManager:
+    """Computes each subscriber's relevant entity set."""
+
+    def __init__(self, config: InterestConfig = InterestConfig()):
+        self.config = config
+
+    def relevant(
+        self,
+        subject_id: str,
+        subject_position: np.ndarray,
+        positions: Dict[str, np.ndarray],
+    ) -> Set[str]:
+        """Entity ids relevant to ``subject_id``.
+
+        Always-relevant ids are unconditionally included and do not count
+        against the nearest-k cap; the subject itself is excluded.
+        """
+        always = {
+            entity_id
+            for entity_id in self.config.always_relevant
+            if entity_id in positions and entity_id != subject_id
+        }
+        candidates: List[tuple] = []
+        for entity_id, position in positions.items():
+            if entity_id == subject_id or entity_id in always:
+                continue
+            distance = float(np.linalg.norm(np.asarray(position) - subject_position))
+            if distance <= self.config.radius_m:
+                candidates.append((distance, entity_id))
+        candidates.sort()
+        nearest = {entity_id for _d, entity_id in candidates[: self.config.max_entities]}
+        return always | nearest
+
+    def relevance_matrix(
+        self, positions: Dict[str, np.ndarray]
+    ) -> Dict[str, Set[str]]:
+        """Relevant sets for every entity at once."""
+        return {
+            subject_id: self.relevant(subject_id, np.asarray(position), positions)
+            for subject_id, position in positions.items()
+        }
+
+
+class BroadcastInterest:
+    """The no-filtering baseline: everyone is relevant to everyone."""
+
+    def relevant(self, subject_id, subject_position, positions) -> Set[str]:
+        return {entity_id for entity_id in positions if entity_id != subject_id}

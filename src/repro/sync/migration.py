@@ -1,0 +1,75 @@
+"""Client migration between sync servers.
+
+Regional servers (C3b) imply users sometimes *move* between them — a
+student travels, a server drains for maintenance, or the placement
+rebalances.  Migration must be seamless: the client subscribes to the new
+server before dropping the old one (make-before-break), and the new
+server's delta encoder, having no state for the newcomer, naturally opens
+with a full keyframe.  The measurable cost is the *blackout*: how long the
+client went without fresh snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simkit.engine import Simulator
+from repro.sync.client import SyncClient
+from repro.sync.protocol import ServerSnapshot
+from repro.sync.server import SyncServer
+
+
+class MigratableClient:
+    """A sync client that can be handed between servers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: SyncClient,
+        old_server: SyncServer,
+        old_path: Callable[[ServerSnapshot], None],
+    ):
+        """``old_path(snapshot)`` must carry the snapshot over the network
+        and finally invoke :meth:`note_snapshot` at the client."""
+        self.sim = sim
+        self.client = client
+        self.current_server = old_server
+        self.last_snapshot_at: Optional[float] = None
+        self.blackout_s: Optional[float] = None
+        self.first_new_snapshot_was_full: Optional[bool] = None
+        self._migrating_since: Optional[float] = None
+        old_server.subscribe(client.client_id, old_path)
+
+    def note_snapshot(self, snapshot: ServerSnapshot,
+                      origin: Optional[str] = None) -> None:
+        """Call from the client's delivery hook to track freshness.
+
+        ``origin`` names the sending server; with make-before-break the old
+        server's in-flight snapshots can still land after :meth:`migrate`,
+        and only the *new* server's first snapshot ends the blackout.
+        """
+        if self._migrating_since is not None and (
+            origin is None or origin == self.current_server.name
+        ):
+            self.blackout_s = self.sim.now - (
+                self.last_snapshot_at
+                if self.last_snapshot_at is not None
+                else self._migrating_since
+            )
+            self.first_new_snapshot_was_full = snapshot.full
+            self._migrating_since = None
+        self.last_snapshot_at = self.sim.now
+        self.client.on_snapshot(snapshot)
+
+    def migrate(
+        self,
+        new_server: SyncServer,
+        new_path: Callable[[ServerSnapshot], None],
+    ) -> None:
+        """Make-before-break handover to ``new_server``."""
+        if new_server is self.current_server:
+            raise ValueError("already on that server")
+        self._migrating_since = self.sim.now
+        new_server.subscribe(self.client.client_id, new_path)
+        self.current_server.unsubscribe(self.client.client_id)
+        self.current_server = new_server

@@ -1,0 +1,70 @@
+"""Wire messages of the synchronization protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.avatar.state import AvatarState
+from repro.sensing.quantize import QuantizationConfig
+
+_QUANT = QuantizationConfig()
+
+#: Fixed header bytes of every sync message (type, session, tick, checksum).
+HEADER_BYTES = 24
+
+
+@dataclass
+class ClientUpdate:
+    """Client → server: the participant's own latest state."""
+
+    client_id: str
+    state: AvatarState
+    input_seq: int
+
+    @property
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + self.state.wire_bytes(_QUANT)
+
+
+@dataclass
+class ServerSnapshot:
+    """Server → client: authoritative states relevant to this client.
+
+    ``full`` snapshots carry every relevant entity (keyframes); delta
+    snapshots carry only entities that changed since the client's last
+    acknowledged tick, plus a removal list.
+    """
+
+    tick: int
+    server_time: float
+    states: List[AvatarState] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+    full: bool = False
+
+    @property
+    def size_bytes(self) -> int:
+        size = HEADER_BYTES
+        size += sum(state.wire_bytes(_QUANT) for state in self.states)
+        size += 8 * len(self.removed)
+        return size
+
+
+@dataclass
+class TimePing:
+    """NTP-style exchange: client stamps t0, server adds t1/t2."""
+
+    client_send: float
+    server_receive: float = 0.0
+    server_send: float = 0.0
+
+    SIZE_BYTES = 48
+
+
+def snapshot_entity_count(snapshots: List[ServerSnapshot]) -> Dict[str, int]:
+    """How many times each entity id appeared across snapshots."""
+    counts: Dict[str, int] = {}
+    for snapshot in snapshots:
+        for state in snapshot.states:
+            counts[state.participant_id] = counts.get(state.participant_id, 0) + 1
+    return counts

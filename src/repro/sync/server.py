@@ -1,0 +1,167 @@
+"""The authoritative tick server."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.metrics.collector import MetricsRegistry
+from repro.simkit.engine import Simulator
+from repro.sync.delta import DeltaEncoder, WorldState
+from repro.sync.interest import InterestConfig, InterestManager
+from repro.sync.protocol import ClientUpdate, ServerSnapshot
+
+
+@dataclass(frozen=True)
+class ServerCostModel:
+    """Per-tick compute cost of the server (seconds).
+
+    ``base`` covers fixed tick overhead; ``per_update`` the cost of
+    ingesting one client update; ``per_entity_scan`` the interest query per
+    (subscriber, entity) pair examined; ``per_state_sent`` serialization of
+    one entity into one snapshot.
+    """
+
+    base: float = 0.0002
+    per_update: float = 2e-6
+    per_entity_scan: float = 4e-8
+    per_state_sent: float = 5e-7
+
+    def tick_cost(self, n_updates: int, n_subscribers: int, n_entities: int,
+                  n_states_sent: int) -> float:
+        return (
+            self.base
+            + self.per_update * n_updates
+            + self.per_entity_scan * n_subscribers * n_entities
+            + self.per_state_sent * n_states_sent
+        )
+
+
+class SyncServer:
+    """Tick-based authoritative world replicator.
+
+    Clients deposit :class:`~repro.sync.protocol.ClientUpdate` messages via
+    :meth:`ingest` (normally called by a network delivery callback).  Every
+    tick the server applies pending updates, computes each subscriber's
+    relevant set, delta-encodes against what that subscriber last saw, and
+    hands the snapshot to the subscriber's ``send`` callback (which routes
+    it back through the network).
+
+    If a tick's modeled compute cost exceeds the tick period, subsequent
+    ticks are delayed — the server saturates instead of teleporting, which
+    is what the scaling experiment measures.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "sync",
+        tick_rate_hz: float = 20.0,
+        interest: Optional[InterestManager] = None,
+        cost_model: ServerCostModel = ServerCostModel(),
+        keyframe_interval: int = 30,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if tick_rate_hz <= 0:
+            raise ValueError("tick rate must be positive")
+        self.sim = sim
+        self.name = name
+        self.tick_period = 1.0 / tick_rate_hz
+        self.interest = interest if interest is not None else InterestManager()
+        self.cost_model = cost_model
+        self.world = WorldState()
+        self.encoder = DeltaEncoder(keyframe_interval=keyframe_interval)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._subscribers: Dict[str, Callable[[ServerSnapshot], None]] = {}
+        self._pending: list = []
+        self.tick_count = 0
+        self._running = False
+
+    # -- membership --------------------------------------------------------
+
+    def subscribe(self, client_id: str, send: Callable[[ServerSnapshot], None]) -> None:
+        """Register a client; ``send(snapshot)`` is invoked every tick."""
+        self._subscribers[client_id] = send
+
+    def unsubscribe(self, client_id: str) -> None:
+        self._subscribers.pop(client_id, None)
+        self.encoder.forget(client_id)
+        self.world.remove(client_id)
+
+    @property
+    def n_subscribers(self) -> int:
+        return len(self._subscribers)
+
+    # -- data path ------------------------------------------------------------
+
+    def ingest(self, update: ClientUpdate) -> None:
+        """Receive one client update (applied on the next tick)."""
+        self._pending.append(update)
+
+    def _do_tick(self) -> float:
+        """Run one tick; returns its modeled compute cost."""
+        updates, self._pending = self._pending, []
+        for update in updates:
+            self.world.apply(update.state)
+        positions = self.world.positions()
+        states_sent = 0
+        for client_id, send in self._subscribers.items():
+            subject_position = positions.get(client_id)
+            if subject_position is None:
+                # Spectator with no embodied avatar yet: treat them as
+                # sitting at the room origin (VR classroom centre).
+                subject_position = np.zeros(3)
+            relevant = self.interest.relevant(client_id, subject_position, positions)
+            states, removed, full = self.encoder.encode(client_id, self.world, relevant)
+            if not states and not removed:
+                continue
+            snapshot = ServerSnapshot(
+                tick=self.tick_count,
+                server_time=self.sim.now,
+                states=[state.copy() for state in states],
+                removed=removed,
+                full=full,
+            )
+            states_sent += len(states)
+            self.metrics.incr("snapshot_bytes", snapshot.size_bytes)
+            self.metrics.incr("snapshots_sent")
+            send(snapshot)
+        cost = self.cost_model.tick_cost(
+            len(updates), len(self._subscribers), len(self.world), states_sent
+        )
+        self.metrics.tracker("tick_cost").record(cost)
+        self.metrics.incr("updates_ingested", len(updates))
+        self.tick_count += 1
+        return cost
+
+    def run(self, duration: float):
+        """A simkit process ticking for ``duration`` seconds."""
+        if self._running:
+            raise RuntimeError("server already running")
+        self._running = True
+
+        def body():
+            end = self.sim.now + duration
+            while self.sim.now < end - 1e-12:
+                cost = self._do_tick()
+                # An overloaded server stretches its tick interval.
+                yield self.sim.timeout(max(self.tick_period, cost))
+            self._running = False
+
+        return self.sim.process(body())
+
+    # -- measurement ----------------------------------------------------------
+
+    def achieved_tick_rate(self, duration: float) -> float:
+        """Ticks per second actually delivered over ``duration``."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        return self.tick_count / duration
+
+    def egress_bytes_per_client_s(self, duration: float) -> float:
+        """Mean downstream bandwidth per subscriber (bytes/s)."""
+        if not self._subscribers or duration <= 0:
+            return 0.0
+        return self.metrics.counter("snapshot_bytes") / len(self._subscribers) / duration

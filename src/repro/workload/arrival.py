@@ -1,0 +1,70 @@
+"""Arrival processes for class joins."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+class PoissonArrivals:
+    """Memoryless arrivals at ``rate_per_s``."""
+
+    def __init__(self, rng: np.random.Generator, rate_per_s: float):
+        if rate_per_s <= 0:
+            raise ValueError("rate must be positive")
+        self.rng = rng
+        self.rate = float(rate_per_s)
+
+    def next_gap(self) -> float:
+        """Seconds until the next arrival."""
+        return float(self.rng.exponential(1.0 / self.rate))
+
+    def times_until(self, horizon: float) -> List[float]:
+        """All arrival instants in [0, horizon)."""
+        times: List[float] = []
+        t = self.next_gap()
+        while t < horizon:
+            times.append(t)
+            t += self.next_gap()
+        return times
+
+
+class BurstyArrivals:
+    """Start-of-class join rush followed by stragglers.
+
+    A fraction ``burst_fraction`` of ``n`` users arrive in the first
+    ``burst_window`` seconds (uniformly); the rest trickle in as a Poisson
+    tail — the familiar shape of a lecture starting.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        n: int,
+        burst_fraction: float = 0.8,
+        burst_window: float = 60.0,
+        tail_rate_per_s: float = 0.05,
+    ):
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        if not 0.0 <= burst_fraction <= 1.0:
+            raise ValueError("burst fraction must be in [0,1]")
+        if burst_window <= 0 or tail_rate_per_s <= 0:
+            raise ValueError("window and tail rate must be positive")
+        self.rng = rng
+        self.n = int(n)
+        self.burst_fraction = float(burst_fraction)
+        self.burst_window = float(burst_window)
+        self.tail_rate = float(tail_rate_per_s)
+
+    def times(self) -> List[float]:
+        """Sorted arrival instants for all ``n`` users."""
+        n_burst = int(round(self.n * self.burst_fraction))
+        burst = self.rng.uniform(0.0, self.burst_window, size=n_burst)
+        tail = []
+        t = self.burst_window
+        for _ in range(self.n - n_burst):
+            t += float(self.rng.exponential(1.0 / self.tail_rate))
+            tail.append(t)
+        return sorted(burst.tolist() + tail)

@@ -1,0 +1,119 @@
+"""Unit tests for LOD selection and seat retargeting."""
+
+import numpy as np
+import pytest
+
+from repro.avatar.lod import (
+    LOD_LEVELS,
+    level_by_name,
+    select_lod,
+    total_quality,
+    total_triangles,
+)
+from repro.avatar.retarget import (
+    SeatTransform,
+    gaze_correction_yaw,
+    orientation_yaw,
+    retarget_error,
+    retarget_state,
+)
+from repro.avatar.state import AvatarState
+from repro.sensing.pose import Pose, yaw_quat
+
+
+def test_lod_levels_ordered_by_fidelity():
+    triangles = [level.triangles for level in LOD_LEVELS]
+    qualities = [level.quality for level in LOD_LEVELS]
+    assert triangles == sorted(triangles, reverse=True)
+    assert qualities == sorted(qualities, reverse=True)
+
+
+def test_level_by_name():
+    assert level_by_name("billboard").triangles == 200
+    with pytest.raises(KeyError):
+        level_by_name("ultra")
+
+
+def test_select_lod_generous_budget_gives_best():
+    assignment = select_lod([("a", 1.0, 0.5)], triangle_budget=10_000_000)
+    assert assignment["a"].name == "photoreal"
+
+
+def test_select_lod_zero_budget_gives_billboards():
+    assignment = select_lod([("a", 1.0, 0.5), ("b", 2.0, 0.5)], triangle_budget=0)
+    assert all(level.name == "billboard" for level in assignment.values())
+
+
+def test_select_lod_prioritizes_important_and_near():
+    instructor = ("instructor", 2.0, 1.0)
+    far_student = ("student", 15.0, 0.3)
+    assignment = select_lod([far_student, instructor], triangle_budget=45_000)
+    assert assignment["instructor"].triangles > assignment["student"].triangles
+
+
+def test_select_lod_respects_budget():
+    avatars = [(f"s{i}", float(i), 0.5) for i in range(20)]
+    budget = 100_000
+    assignment = select_lod(avatars, triangle_budget=budget)
+    assert total_triangles(assignment) <= budget + LOD_LEVELS[-1].triangles * 20
+    assert len(assignment) == 20
+    assert total_quality(assignment) > 0
+
+
+def test_select_lod_negative_budget_rejected():
+    with pytest.raises(ValueError):
+        select_lod([], triangle_budget=-1)
+
+
+def test_seat_transform_rigid_mapping():
+    transform = SeatTransform(
+        source_anchor=np.array([2.0, 3.0, 0.0]),
+        target_anchor=np.array([10.0, 10.0, 0.0]),
+        yaw_delta=np.pi / 2,
+    )
+    # A point 1 m in front (+x) of the source seat maps 1 m in +y of target.
+    mapped = transform.apply_position(np.array([3.0, 3.0, 0.0]))
+    assert np.allclose(mapped, [10.0, 11.0, 0.0], atol=1e-12)
+
+
+def test_retarget_preserves_seat_relative_offset():
+    transform = SeatTransform(
+        source_anchor=np.array([2.0, 3.0, 0.0]),
+        target_anchor=np.array([7.0, 1.0, 0.0]),
+        yaw_delta=0.0,
+    )
+    state = AvatarState("p", 0.0, Pose(np.array([2.5, 3.0, 1.2])))
+    moved = retarget_state(state, transform)
+    assert np.allclose(moved.pose.position, [7.5, 1.0, 1.2])
+    assert moved.meta["retargeted"]
+    assert retarget_error(state, moved, transform) == pytest.approx(0.0)
+
+
+def test_gaze_correction_faces_attention_target():
+    # Avatar relocated to (0,0), currently facing +x (yaw 0);
+    # the lecturer is at (0, 5): correction should be +90 degrees.
+    correction = gaze_correction_yaw(
+        np.array([0.0, 0.0, 0.0]), 0.0, np.array([0.0, 5.0, 0.0])
+    )
+    assert correction == pytest.approx(np.pi / 2)
+
+
+def test_retarget_with_attention_target_faces_it():
+    transform = SeatTransform(
+        source_anchor=np.zeros(3),
+        target_anchor=np.array([4.0, 0.0, 0.0]),
+        yaw_delta=0.0,
+    )
+    state = AvatarState("p", 0.0, Pose(np.zeros(3), yaw_quat(0.0)))
+    podium = np.array([4.0, 6.0, 0.0])
+    moved = retarget_state(state, transform, attention_target=podium)
+    # Facing yaw should now point at the podium (straight +y from new seat).
+    assert orientation_yaw(moved.pose) == pytest.approx(np.pi / 2, abs=1e-6)
+
+
+def test_retarget_error_measures_gaze_displacement_zero():
+    """Gaze correction only rotates; position error must stay zero."""
+    transform = SeatTransform(np.zeros(3), np.array([1.0, 1.0, 0.0]), 0.3)
+    state = AvatarState("p", 0.0, Pose(np.array([0.2, 0.0, 1.0])))
+    moved = retarget_state(state, transform, attention_target=np.array([5.0, 5.0, 0.0]))
+    assert retarget_error(state, moved, transform) == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,97 @@
+"""Unit tests for the comparator modalities."""
+
+import pytest
+
+from repro.baselines.ar_overlay import ArOverlayClassroom
+from repro.baselines.profiles import MODALITY_PROFILES
+from repro.baselines.videoconf import VideoConferencePlatform
+from repro.baselines.vr_only import VrRemotePlatform
+
+
+def test_profiles_cover_the_four_modalities():
+    assert set(MODALITY_PROFILES) == {
+        "video_conference", "ar_classroom", "vr_remote", "blended_metaverse"
+    }
+
+
+def test_profiles_match_papers_qualitative_claims():
+    videoconf = MODALITY_PROFILES["video_conference"]
+    ar = MODALITY_PROFILES["ar_classroom"]
+    vr = MODALITY_PROFILES["vr_remote"]
+    blended = MODALITY_PROFILES["blended_metaverse"]
+    # "Zoom enables synchronous teaching but lacks motivation and engagement"
+    assert videoconf.remote_access and videoconf.immersion < 0.3
+    # "current VR/AR education allows 3D visualization but fails to provide
+    # remote access" (AR case)
+    assert not ar.remote_access and ar.physical_copresence
+    # VR: immersive and remote, but no physical co-presence.
+    assert vr.remote_access and not vr.physical_copresence
+    # The blended classroom uniquely offers both.
+    assert blended.remote_access and blended.physical_copresence
+    assert blended.interactivity == max(
+        p.interactivity for p in MODALITY_PROFILES.values()
+    )
+
+
+def test_videoconf_tiles_degrade_with_class_size():
+    platform = VideoConferencePlatform()
+    small = platform.tile_quality(5)
+    big = platform.tile_quality(40)
+    assert big < small
+    assert platform.visible_tiles(40) == platform.max_tiles
+    assert platform.visible_tiles(2) == 1
+
+
+def test_videoconf_sfu_egress_scales_quadratically_then_caps():
+    platform = VideoConferencePlatform()
+    assert platform.sfu_egress_bps(10) > platform.sfu_egress_bps(5)
+    # Beyond the tile cap, downlink per user is budget-bound.
+    assert platform.downlink_bps(100) <= platform.downlink_budget_bps + 1e-6
+
+
+def test_videoconf_latency_and_validation():
+    platform = VideoConferencePlatform()
+    assert platform.one_way_latency(0.060) == pytest.approx(0.075)
+    with pytest.raises(ValueError):
+        platform.one_way_latency(-0.1)
+    with pytest.raises(ValueError):
+        platform.visible_tiles(0)
+    with pytest.raises(ValueError):
+        VideoConferencePlatform(uplink_bps=0)
+
+
+def test_vr_only_sickness_grows_with_time():
+    platform = VrRemotePlatform()
+    short = platform.sickness_after(10.0)
+    long = platform.sickness_after(60.0)
+    assert long.total > short.total
+    with pytest.raises(ValueError):
+        platform.sickness_after(-1.0)
+
+
+def test_vr_only_session_length_cap():
+    platform = VrRemotePlatform()
+    assert platform.usable_fraction_of_session(30.0) == 1.0
+    assert platform.usable_fraction_of_session(90.0) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        platform.usable_fraction_of_session(0.0)
+
+
+def test_ar_overhead_and_triggers():
+    ar = ArOverlayClassroom()
+    assert ar.task_time_factor(is_novice=True) > 1.0
+    assert ar.task_time_factor(is_novice=False) == 1.0
+    assert ar.activity_success_rate(0) == 1.0
+    assert ar.activity_success_rate(5) < ar.activity_success_rate(1)
+    assert not ar.supports_remote_learners
+    with pytest.raises(ValueError):
+        ar.activity_success_rate(-1)
+
+
+def test_ar_validation():
+    with pytest.raises(ValueError):
+        ArOverlayClassroom(novice_training_overhead=0.9)
+    with pytest.raises(ValueError):
+        ArOverlayClassroom(trigger_recognition_rate=0.0)
+    with pytest.raises(ValueError):
+        ArOverlayClassroom(overlay_cognitive_load=1.5)

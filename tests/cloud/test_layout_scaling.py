@@ -1,0 +1,100 @@
+"""Unit tests for the VR classroom layout and shard planning."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.layout import VRClassroomLayout
+from repro.cloud.scaling import ShardPlanner
+
+
+def test_layout_assigns_unique_seats():
+    layout = VRClassroomLayout(seats_per_row=5)
+    poses = [layout.assign_seat(f"u{i}") for i in range(12)]
+    positions = np.array([p.position for p in poses])
+    # All distinct.
+    for i in range(len(positions)):
+        for j in range(i + 1, len(positions)):
+            assert np.linalg.norm(positions[i] - positions[j]) > 0.1
+    assert layout.seated_count == 12
+
+
+def test_layout_reassignment_is_stable():
+    layout = VRClassroomLayout()
+    first = layout.assign_seat("alice")
+    second = layout.assign_seat("alice")
+    assert np.allclose(first.position, second.position)
+    assert layout.seated_count == 1
+
+
+def test_layout_seats_face_the_stage():
+    layout = VRClassroomLayout(seats_per_row=10)
+    for index in (0, 7, 25):
+        pose = layout.seat_pose(index)
+        from repro.sensing.pose import quat_rotate
+        forward = quat_rotate(pose.orientation, np.array([1.0, 0.0, 0.0]))
+        to_stage = layout.stage_center - pose.position
+        to_stage /= np.linalg.norm(to_stage)
+        assert float(np.dot(forward[:2], to_stage[:2])) > 0.99
+
+
+def test_layout_stage_and_release():
+    layout = VRClassroomLayout()
+    stage_pose = layout.assign_stage("prof")
+    assert np.linalg.norm(stage_pose.position) < 1.0
+    layout.assign_seat("student")
+    poses = layout.all_poses()
+    assert set(poses) == {"prof", "student"}
+    layout.release("prof")
+    layout.release("student")
+    assert layout.all_poses() == {}
+
+
+def test_layout_rows_grow_outward():
+    layout = VRClassroomLayout(seats_per_row=4, first_row_radius_m=4.0,
+                               row_spacing_m=2.0)
+    front = np.linalg.norm(layout.seat_pose(0).position)
+    back = np.linalg.norm(layout.seat_pose(4).position)  # second row
+    assert back == pytest.approx(front + 2.0, abs=0.2)
+
+
+def test_layout_validation():
+    with pytest.raises(ValueError):
+        VRClassroomLayout(seats_per_row=0)
+    with pytest.raises(ValueError):
+        VRClassroomLayout(row_spacing_m=0.0)
+    with pytest.raises(ValueError):
+        VRClassroomLayout().seat_pose(-1)
+
+
+def test_shard_planner_counts():
+    planner = ShardPlanner(shard_capacity=100, replicated_entities=2)
+    assert planner.n_shards(0) == 0
+    assert planner.n_shards(98) == 1
+    assert planner.n_shards(99) == 2
+    assert planner.n_shards(980) == 10
+
+
+def test_shard_planner_assignment_balanced():
+    planner = ShardPlanner(shard_capacity=10, replicated_entities=0)
+    users = [f"u{i}" for i in range(25)]
+    assignment = planner.assign(users)
+    counts = {}
+    for shard in assignment.values():
+        counts[shard] = counts.get(shard, 0) + 1
+    assert len(counts) == 3
+    assert max(counts.values()) - min(counts.values()) <= 1
+
+
+def test_shard_visibility_tradeoff():
+    planner = ShardPlanner(shard_capacity=500)
+    assert planner.peer_visibility_fraction(100) == 1.0
+    assert planner.peer_visibility_fraction(5000) < 0.2
+
+
+def test_shard_validation():
+    with pytest.raises(ValueError):
+        ShardPlanner(shard_capacity=1)
+    with pytest.raises(ValueError):
+        ShardPlanner(replicated_entities=-1)
+    with pytest.raises(ValueError):
+        ShardPlanner().n_shards(-1)

@@ -1,0 +1,113 @@
+"""Unit tests for regional planning and the cloud classroom server."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.regions import plan_regions, single_server_plan
+from repro.cloud.server import CloudClassroomServer
+from repro.simkit import Simulator
+from repro.sync.client import SyncClient
+from repro.workload.population import sample_worldwide
+from repro.workload.traces import SeatedMotion
+
+
+def test_regional_servers_cut_tail_latency():
+    """C3b shape: k regional servers collapse the worldwide RTT tail."""
+    population = sample_worldwide(400, np.random.default_rng(0))
+    single = single_server_plan(population, site="hkust_cwb")
+    regional = plan_regions(population, k=4)
+    assert regional.mean_rtt() < single.mean_rtt()
+    assert regional.p95_rtt() < single.p95_rtt() * 0.7
+    # The paper's pain point: with one server, a big slice of the world
+    # sits above 100 ms RTT; regional servers fix most of it.
+    assert single.fraction_above(0.100) > 0.2
+    assert regional.fraction_above(0.100) < single.fraction_above(0.100)
+
+
+def test_more_regions_monotone_improvement():
+    population = sample_worldwide(200, np.random.default_rng(1))
+    means = [plan_regions(population, k=k).mean_rtt() for k in (1, 2, 4, 8)]
+    assert all(a >= b - 1e-12 for a, b in zip(means, means[1:]))
+
+
+def test_region_plan_assigns_every_user():
+    population = sample_worldwide(100, np.random.default_rng(2))
+    plan = plan_regions(population, k=3)
+    assert len(plan.assignment) == 100
+    assert set(plan.assignment.values()) <= set(plan.sites)
+    assert len(plan.sites) == 3
+
+
+def test_region_plan_validation():
+    population = sample_worldwide(10, np.random.default_rng(3))
+    with pytest.raises(ValueError):
+        plan_regions(population, k=0)
+    with pytest.raises(ValueError):
+        plan_regions(population, k=100)
+    from repro.workload.population import RemotePopulation
+    with pytest.raises(ValueError):
+        plan_regions(RemotePopulation(users=[]), k=1)
+
+
+def test_cloud_server_seats_remote_users():
+    sim = Simulator(seed=4)
+    cloud = CloudClassroomServer(sim, tick_rate_hz=20.0)
+
+    received = {"alice": [], "bob": []}
+    pose_a = cloud.connect("alice", lambda s: received["alice"].append(s))
+    pose_b = cloud.connect("bob", lambda s: received["bob"].append(s))
+    assert np.linalg.norm(pose_a.position - pose_b.position) > 0.1
+
+    clients = {}
+    for cid in ("alice", "bob"):
+        trace = SeatedMotion((0.0, 0.0, 1.2), sim.rng.stream(cid))
+        client = SyncClient(
+            sim, cid,
+            transmit=lambda u: sim.call_later(0.02, lambda u=u: cloud.ingest_update(u)),
+        )
+        client.local_pose = trace
+        clients[cid] = client
+
+    cloud.run(duration=4.0)
+    for client in clients.values():
+        client.run(duration=4.0)
+    for cid, client in clients.items():
+        # Route snapshots back into the client with the same delay.
+        cloud.sync.subscribe(
+            cid, lambda snap, c=client: sim.call_later(0.02, lambda: c.on_snapshot(snap))
+        )
+    sim.run()
+    assert "bob" in clients["alice"].known_entities
+    # Bob's replica sits near bob's *seat* (seat rebasing applied).
+    bob_state = clients["alice"].remote_states()["bob"]
+    assert np.linalg.norm(bob_state.pose.position - pose_b.position) < 2.0
+
+
+def test_cloud_server_instructor_on_stage():
+    sim = Simulator(seed=5)
+    cloud = CloudClassroomServer(sim)
+    pose = cloud.connect("prof", lambda s: None, role="instructor")
+    assert np.linalg.norm(pose.position) < 1.0
+
+
+def test_cloud_server_ingests_edge_states():
+    sim = Simulator(seed=6)
+    cloud = CloudClassroomServer(sim)
+    from repro.avatar.state import AvatarState
+    from repro.sensing.pose import Pose
+    cloud.ingest_edge_state(AvatarState("hk-student", sim.now, Pose()))
+    assert cloud.world_size == 1
+    assert cloud.edge_states_ingested == 1
+    # Second ingest keeps the same seat.
+    cloud.ingest_edge_state(AvatarState("hk-student", sim.now, Pose(), seq=1))
+    assert cloud.world_size == 1
+    assert cloud.layout.seated_count == 1
+
+
+def test_cloud_server_disconnect_cleans_up():
+    sim = Simulator(seed=7)
+    cloud = CloudClassroomServer(sim)
+    cloud.connect("x", lambda s: None)
+    cloud.disconnect("x")
+    assert cloud.sync.n_subscribers == 0
+    assert cloud.layout.seated_count == 0

@@ -1,0 +1,124 @@
+"""Unit and property tests for the CRDT whiteboard."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.content.collab import (
+    LabelSet,
+    StrokeAdd,
+    WhiteboardReplica,
+    converged,
+)
+
+
+def test_local_draw_and_erase():
+    board = WhiteboardReplica("cwb")
+    op = board.draw([(0, 0), (1, 1)])
+    assert len(board.strokes()) == 1
+    board.erase([op.stroke.tag])
+    assert board.strokes() == []
+
+
+def test_ops_replicate_between_sites():
+    cwb, gz = WhiteboardReplica("cwb"), WhiteboardReplica("gz")
+    op = cwb.draw([(0, 0), (2, 2)], color="red")
+    gz.apply(op)
+    assert converged([cwb, gz])
+    assert gz.strokes()[0].color == "red"
+
+
+def test_observed_remove_semantics():
+    """An erase only kills strokes the eraser had seen."""
+    cwb, gz = WhiteboardReplica("cwb"), WhiteboardReplica("gz")
+    seen = cwb.draw([(0, 0)])
+    gz.apply(seen)
+    unseen = cwb.draw([(5, 5)])           # gz has NOT seen this yet
+    erase = gz.erase([seen.stroke.tag, unseen.stroke.tag])
+    # gz's erase op only carries what it observed.
+    assert erase.tags == frozenset({seen.stroke.tag})
+    cwb.apply(erase)
+    gz.apply(unseen)
+    assert converged([cwb, gz])
+    assert cwb.stroke_tags() == {unseen.stroke.tag}
+
+
+def test_remove_wins_over_replayed_add():
+    """Idempotence: re-delivering an add after its remove is a no-op."""
+    board = WhiteboardReplica("x")
+    add = board.draw([(1, 1)])
+    board.erase([add.stroke.tag])
+    board.apply(add)  # duplicate delivery
+    assert board.strokes() == []
+
+
+def test_label_last_writer_wins_deterministic():
+    a, b = WhiteboardReplica("a"), WhiteboardReplica("b")
+    op_a = a.set_label("title", "Thermodynamics")
+    op_b = b.set_label("title", "Fluid mechanics")
+    # Deliver in opposite orders.
+    a.apply(op_b)
+    b.apply(op_a)
+    assert converged([a, b])
+    assert a.label("title") == b.label("title")
+    # Equal Lamport stamps fall back to the replica id ("b" > "a").
+    assert a.label("title") == "Fluid mechanics"
+
+
+def test_label_causality_via_lamport():
+    a, b = WhiteboardReplica("a"), WhiteboardReplica("b")
+    first = a.set_label("title", "v1")
+    b.apply(first)
+    second = b.set_label("title", "v2")  # causally after: higher Lamport
+    a.apply(second)
+    assert a.label("title") == "v2"
+    assert b.label("title") == "v2"
+
+
+def test_unknown_op_rejected():
+    with pytest.raises(TypeError):
+        WhiteboardReplica("x").apply(object())
+
+
+def test_converged_validation():
+    with pytest.raises(ValueError):
+        converged([])
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),   # authoring replica
+            st.sampled_from(["draw", "erase", "label"]),
+        ),
+        min_size=1, max_size=25,
+    ),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_replicas_converge_under_any_delivery_order(script, seed):
+    """The CRDT law: same ops, any order, same state."""
+    rng = np.random.default_rng(seed)
+    replicas = [WhiteboardReplica(f"r{i}") for i in range(3)]
+    ops = []
+    for author_idx, action in script:
+        author = replicas[author_idx]
+        if action == "draw":
+            ops.append(author.draw([(rng.random(), rng.random())]))
+        elif action == "erase":
+            tags = list(author.stroke_tags())
+            if tags:
+                ops.append(author.erase(tags[:1]))
+        else:
+            ops.append(author.set_label("region", f"t{len(ops)}"))
+    # Deliver every op to every replica in an independent shuffled order.
+    for replica in replicas:
+        order = rng.permutation(len(ops))
+        for index in order:
+            replica.apply(ops[index])
+    # And once more (duplicates must be harmless).
+    for replica in replicas:
+        for op in ops:
+            replica.apply(op)
+    assert converged(replicas)

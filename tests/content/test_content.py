@@ -1,0 +1,175 @@
+"""Unit tests for content objects, ledger, economy, and privacy."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.content.economy import RewardPolicy
+from repro.content.ledger import ContentLedger, LedgerError
+from repro.content.objects import ContentLibrary, ContentObject
+from repro.content.privacy import OverlayRequest, PrivacyDecision, PrivacyPolicy
+
+
+def obj(content_id="c1", author="alice", kind="quiz", **kwargs):
+    defaults = dict(title="Quiz 1", size_bytes=1000)
+    defaults.update(kwargs)
+    return ContentObject(content_id, author, kind, **defaults)
+
+
+def test_content_object_validation():
+    with pytest.raises(ValueError):
+        obj(kind="meme")
+    with pytest.raises(ValueError):
+        obj(size_bytes=0)
+
+
+def test_content_digest_stable_and_distinct():
+    assert obj().digest == obj().digest
+    assert obj().digest != obj(content_id="c2").digest
+
+
+def test_library_add_search():
+    library = ContentLibrary()
+    library.add(obj("c1", "alice", "quiz", tags=frozenset({"week1"})))
+    library.add(obj("c2", "bob", "3d_model", tags=frozenset({"week1", "chem"})))
+    library.add(obj("c3", "alice", "quiz", tags=frozenset({"week2"})))
+    assert len(library) == 3
+    assert [o.content_id for o in library.search(tag="week1")] == ["c1", "c2"]
+    assert [o.content_id for o in library.search(kind="quiz")] == ["c1", "c3"]
+    assert [o.content_id for o in library.search(author="bob")] == ["c2"]
+    assert [o.content_id for o in library.search(tag="week1", author="alice")] == ["c1"]
+    assert library.by_author() == {"alice": 2, "bob": 1}
+
+
+def test_library_duplicates_and_missing():
+    library = ContentLibrary()
+    library.add(obj())
+    with pytest.raises(ValueError):
+        library.add(obj())
+    with pytest.raises(KeyError):
+        library.get("ghost")
+
+
+def test_ledger_mint_and_ownership():
+    ledger = ContentLedger()
+    token = ledger.mint(1.0, obj().digest, "alice")
+    assert ledger.owner_of(token) == "alice"
+    assert ledger.token_for(obj().digest) == token
+    assert len(ledger) == 1
+    assert ledger.verify()
+
+
+def test_ledger_double_mint_rejected():
+    ledger = ContentLedger()
+    ledger.mint(1.0, "digest-a", "alice")
+    with pytest.raises(LedgerError):
+        ledger.mint(2.0, "digest-a", "bob")
+
+
+def test_ledger_transfer_chain():
+    ledger = ContentLedger()
+    token = ledger.mint(1.0, "d", "alice")
+    ledger.transfer(2.0, token, "alice", "bob")
+    ledger.transfer(3.0, token, "bob", "carol")
+    assert ledger.owner_of(token) == "carol"
+    assert ledger.verify()
+
+
+def test_ledger_transfer_requires_ownership():
+    ledger = ContentLedger()
+    token = ledger.mint(1.0, "d", "alice")
+    with pytest.raises(LedgerError):
+        ledger.transfer(2.0, token, "mallory", "mallory")
+    with pytest.raises(LedgerError):
+        ledger.transfer(2.0, "fake-token", "alice", "bob")
+    with pytest.raises(LedgerError):
+        ledger.owner_of("fake-token")
+
+
+def test_ledger_detects_tampering():
+    ledger = ContentLedger()
+    token = ledger.mint(1.0, "d", "alice")
+    ledger.transfer(2.0, token, "alice", "bob")
+    assert ledger.verify()
+    ledger.tamper(0, new_owner="mallory")
+    assert not ledger.verify()
+
+
+@given(st.integers(min_value=1, max_value=30))
+def test_ledger_always_verifies_after_honest_use(n):
+    ledger = ContentLedger()
+    tokens = [ledger.mint(float(i), f"digest-{i}", f"author-{i % 3}") for i in range(n)]
+    for i, token in enumerate(tokens[: n // 2]):
+        ledger.transfer(100.0 + i, token, f"author-{i % 3}", "school")
+    assert ledger.verify()
+
+
+def test_rewards_accrue():
+    policy = RewardPolicy()
+    model = obj("c1", "alice", "3d_model")
+    note = obj("c2", "bob", "annotation")
+    assert policy.reward_contribution(model) == 25.0
+    assert policy.reward_contribution(note) == 1.0
+    policy.reward_usage(model, uses=4)
+    assert policy.balance("alice") == pytest.approx(27.0)
+    assert policy.balance("bob") == 1.0
+    assert policy.leaderboard()[0][0] == "alice"
+    assert policy.balance("nobody") == 0.0
+
+
+def test_rewards_validation():
+    with pytest.raises(ValueError):
+        RewardPolicy(credits_per_kind={"quiz": 1.0})
+    policy = RewardPolicy()
+    with pytest.raises(ValueError):
+        policy.reward_usage(obj(), uses=-1)
+
+
+def overlay(request_id="r1", **kwargs):
+    defaults = dict(author="alice", zone="seating")
+    defaults.update(kwargs)
+    return OverlayRequest(request_id, **defaults)
+
+
+def test_privacy_allow_clean_overlay():
+    policy = PrivacyPolicy()
+    assert policy.evaluate(overlay()) is PrivacyDecision.ALLOW
+
+
+def test_privacy_restricted_zone_denied():
+    policy = PrivacyPolicy()
+    assert policy.evaluate(overlay(zone="private_desk")) is PrivacyDecision.DENY
+
+
+def test_privacy_unlicensed_denied_unless_disabled():
+    strict = PrivacyPolicy()
+    lax = PrivacyPolicy(enforce_licensing=False)
+    request = overlay(licensed=False)
+    assert strict.evaluate(request) is PrivacyDecision.DENY
+    assert lax.evaluate(request) is PrivacyDecision.ALLOW
+
+
+def test_privacy_consent_rules():
+    policy = PrivacyPolicy()
+    nonconsenting = overlay(
+        captured_subjects=frozenset({"bob"}), consented_subjects=frozenset()
+    )
+    consenting = overlay(
+        "r2", captured_subjects=frozenset({"bob"}),
+        consented_subjects=frozenset({"bob"}), contains_personal_data=True,
+    )
+    assert policy.evaluate(nonconsenting) is PrivacyDecision.DENY
+    assert policy.evaluate(consenting) is PrivacyDecision.REDACT
+
+
+def test_privacy_violation_recall_is_total():
+    policy = PrivacyPolicy()
+    requests = [
+        overlay("v1", zone="private_desk"),
+        overlay("v2", licensed=False),
+        overlay("v3", captured_subjects=frozenset({"x"})),
+        overlay("ok"),
+    ]
+    assert policy.violation_recall(requests) == 1.0
+    with pytest.raises(ValueError):
+        policy.violation_recall([overlay("clean")])

@@ -1,0 +1,181 @@
+"""Tests for assessment (feature i) and presentations (feature ii)."""
+
+import numpy as np
+import pytest
+
+from repro.core.assessment import (
+    AssessmentEngine,
+    QuizItem,
+    QuizResult,
+    RetentionModel,
+)
+from repro.core.presentation import (
+    InteractivePresentation,
+    SlideKind,
+    standard_deck,
+)
+from repro.hci.input import INPUT_MODALITIES
+from repro.simkit import Simulator
+
+
+def quiz_items(n=10, spread=2.0):
+    return [
+        QuizItem(f"q{i}", difficulty=-spread + 2 * spread * i / max(1, n - 1))
+        for i in range(n)
+    ]
+
+
+def test_irt_item_shape():
+    easy = QuizItem("e", difficulty=-2.0)
+    hard = QuizItem("h", difficulty=2.0)
+    assert easy.p_correct(0.0) > 0.85
+    assert hard.p_correct(0.0) < 0.15
+    assert easy.p_correct(0.0) > easy.p_correct(-1.0)
+    with pytest.raises(ValueError):
+        QuizItem("x", 0.0, discrimination=0.0)
+
+
+def test_stronger_ability_scores_higher():
+    rng = np.random.default_rng(0)
+    engine = AssessmentEngine(quiz_items(20), rng)
+    weak = [engine.administer(f"w{i}", ability=-1.0).score for i in range(30)]
+    strong = [engine.administer(f"s{i}", ability=1.5).score for i in range(30)]
+    assert np.mean(strong) > np.mean(weak) + 0.2
+
+
+def test_attention_gates_performance():
+    """The link to the rest of the system: distraction costs marks."""
+    rng = np.random.default_rng(1)
+    engine = AssessmentEngine(quiz_items(20), rng)
+    attentive = [
+        engine.administer(f"a{i}", 1.0, attention_fraction=0.95).score
+        for i in range(30)
+    ]
+    distracted = [
+        engine.administer(f"d{i}", 1.0, attention_fraction=0.4).score
+        for i in range(30)
+    ]
+    assert np.mean(attentive) > np.mean(distracted) + 0.1
+
+
+def test_class_analytics():
+    rng = np.random.default_rng(2)
+    engine = AssessmentEngine(quiz_items(5), rng)
+    for i in range(40):
+        engine.administer(f"s{i}", ability=float(rng.normal(0, 1)))
+    assert 0.0 < engine.class_mean_score() < 1.0
+    difficulty = engine.item_difficulty_empirical()
+    # Empirical failure rate tracks designed difficulty ordering.
+    assert difficulty["q0"] < difficulty["q4"]
+
+
+def test_assessment_validation():
+    rng = np.random.default_rng(3)
+    with pytest.raises(ValueError):
+        AssessmentEngine([], rng)
+    with pytest.raises(ValueError):
+        AssessmentEngine([QuizItem("a", 0.0), QuizItem("a", 1.0)], rng)
+    engine = AssessmentEngine(quiz_items(3), rng)
+    with pytest.raises(ValueError):
+        engine.administer("x", 0.0, attention_fraction=1.5)
+    with pytest.raises(RuntimeError):
+        engine.class_mean_score()
+    with pytest.raises(ValueError):
+        _ = QuizResult("x", {}).score
+
+
+def test_brelsford_retention_shape():
+    """Paper-cited result: VR-lab learners retain better at 4 weeks."""
+    model = RetentionModel()
+    lecture_now = model.retention(engagement=0.5, weeks=0.0, hands_on=False)
+    vr_now = model.retention(engagement=0.7, weeks=0.0, hands_on=True)
+    lecture_4wk = model.retention(engagement=0.5, weeks=4.0, hands_on=False)
+    vr_4wk = model.retention(engagement=0.7, weeks=4.0, hands_on=True)
+    assert vr_now > lecture_now
+    # The gap *widens* with delay — the retention effect, not just gain.
+    assert (vr_4wk - lecture_4wk) > (vr_now - lecture_now) * 0.8
+    assert vr_4wk > lecture_4wk * 1.3
+
+
+def test_retention_validation():
+    model = RetentionModel()
+    with pytest.raises(ValueError):
+        model.retention(1.5, 1.0, True)
+    with pytest.raises(ValueError):
+        model.retention(0.5, -1.0, True)
+
+
+def test_standard_deck_structure():
+    deck = standard_deck(n_slides=12, poll_every=4, artifact_every=6)
+    assert len(deck) == 12
+    kinds = [slide.kind for slide in deck]
+    assert kinds[3] is SlideKind.POLL
+    assert kinds[5] is SlideKind.ARTIFACT_3D
+    assert kinds[0] is SlideKind.PLAIN
+    with pytest.raises(ValueError):
+        standard_deck(0)
+
+
+def test_presentation_runs_and_measures_latency():
+    sim = Simulator(seed=4)
+
+    def send(size, on_done):
+        sim.call_later(size * 8 / 100e6, on_done)  # 100 Mbps path
+
+    deck = standard_deck(n_slides=8, poll_every=4, artifact_every=0)
+    audience = {f"s{i}": 0.9 for i in range(20)}
+    presentation = InteractivePresentation(sim, send, deck, audience)
+    presentation.run()
+    sim.run()
+    assert presentation.slides_shown == 8
+    assert len(presentation.polls) == 2
+    assert presentation.slide_latency.summary().maximum < 0.1
+    assert 0.0 < presentation.mean_participation() <= 1.0
+
+
+def test_presentation_attention_drives_participation():
+    def participation(attention):
+        sim = Simulator(seed=5)
+        deck = standard_deck(n_slides=8, poll_every=2, artifact_every=0)
+        audience = {f"s{i}": attention for i in range(30)}
+        presentation = InteractivePresentation(
+            sim, lambda size, done: sim.call_later(0.01, done), deck, audience
+        )
+        presentation.run()
+        sim.run()
+        return presentation.mean_participation()
+
+    assert participation(0.9) > participation(0.3) + 0.2
+
+
+def test_presentation_slow_inputs_cut_participation():
+    def participation(modality_name):
+        sim = Simulator(seed=6)
+        deck = standard_deck(n_slides=4, poll_every=2, artifact_every=0)
+        audience = {f"s{i}": 1.0 for i in range(30)}
+        presentation = InteractivePresentation(
+            sim, lambda size, done: sim.call_later(0.01, done), deck, audience,
+            input_modality=INPUT_MODALITIES[modality_name],
+            poll_window_s=20.0,
+        )
+        presentation.run()
+        sim.run()
+        return presentation.mean_participation()
+
+    # Everyone answers with a keyboard in 20 s; mid-air gestures miss some.
+    assert participation("physical_keyboard") >= participation("hand_gesture")
+
+
+def test_presentation_validation():
+    sim = Simulator()
+    send = lambda size, done: None
+    with pytest.raises(ValueError):
+        InteractivePresentation(sim, send, [], {"a": 1.0})
+    with pytest.raises(ValueError):
+        InteractivePresentation(sim, send, standard_deck(2), {})
+    with pytest.raises(ValueError):
+        InteractivePresentation(sim, send, standard_deck(2), {"a": 1.0},
+                                poll_window_s=0.0)
+    presentation = InteractivePresentation(sim, send, standard_deck(2), {"a": 1.0})
+    with pytest.raises(RuntimeError):
+        presentation.mean_participation()

@@ -1,0 +1,150 @@
+"""Cross-module integration: services running over the real deployment.
+
+These tests compose subsystems the way a production classroom would:
+time sync over a true queued network path, a slide presentation riding the
+inter-campus backbone, a shared CRDT whiteboard replicated between both
+campuses and the cloud, and WiFi saturation behaviour under a packed room.
+"""
+
+import numpy as np
+import pytest
+
+from repro.content.collab import WhiteboardReplica, converged
+from repro.core.metaverse import MetaverseClassroom
+from repro.core.participant import Participant
+from repro.core.presentation import InteractivePresentation, standard_deck
+from repro.net.packet import Packet
+from repro.net.wifi import WifiNetwork
+from repro.simkit import Simulator, VirtualClock
+from repro.sync.timesync import NtpSynchronizer
+
+
+def build_deployment(sim, students=2):
+    deployment = MetaverseClassroom(sim)
+    deployment.add_campus("cwb", city="hkust_cwb")
+    deployment.add_campus("gz", city="hkust_gz")
+    for campus in ("cwb", "gz"):
+        for i in range(students):
+            deployment.add_participant(Participant(f"{campus}-{i}", campus=campus))
+    deployment.wire()
+    return deployment
+
+
+def test_ntp_over_real_backbone_path():
+    """Clock sync across the CWB->GZ queued path, with cross traffic."""
+    sim = Simulator(seed=1)
+    deployment = build_deployment(sim)
+    headset_clock = VirtualClock(sim, offset=0.35, drift_ppm=80.0)
+    server_clock = VirtualClock(sim)
+    forward = deployment.topology.channel("cwb", "gz")
+    backward = deployment.topology.channel("gz", "cwb")
+
+    def transport(ping, server_stamp, on_reply):
+        packet = Packet(src="cwb", dst="gz", size_bytes=48, kind="ntp",
+                        payload=ping)
+
+        def at_server(pkt):
+            server_stamp(pkt.payload)
+            reply = Packet(src="gz", dst="cwb", size_bytes=48, kind="ntp",
+                           payload=pkt.payload)
+            backward.send(reply, lambda p: on_reply(p.payload))
+
+        forward.send(packet, at_server)
+
+    sync = NtpSynchronizer(sim, headset_clock, server_clock, transport, burst=4)
+    sync.run(duration=60.0, interval=16.0)
+    deployment.run(duration=20.0)  # cross traffic shares the links briefly
+    sim.run()                      # drain the remaining sync rounds
+    # 350 ms initial offset + 80 ppm drift, held to ~ms over the WAN.
+    assert abs(headset_clock.error()) < 0.005
+
+
+def test_presentation_over_backbone_reaches_peer_campus():
+    sim = Simulator(seed=2)
+    deployment = build_deployment(sim)
+    channel = deployment.topology.channel("cwb", "gz")
+
+    def send(size_bytes, on_done):
+        packet = Packet(src="cwb", dst="gz", size_bytes=size_bytes,
+                        kind="slides")
+        channel.send(packet, lambda p: on_done())
+
+    deck = standard_deck(n_slides=6, poll_every=3, artifact_every=5)
+    audience = {f"gz-{i}": 0.8 for i in range(10)}
+    presentation = InteractivePresentation(sim, send, deck, audience,
+                                           poll_window_s=20.0)
+    presentation.run()
+    sim.run(until=600.0)  # channels work without the full sensing load
+    assert presentation.slides_shown == 6
+    latency = presentation.slide_latency.summary()
+    # A 2 MB artifact over the 1 Gbps backbone: ~16 ms + propagation.
+    assert latency.maximum < 0.1
+    assert presentation.mean_participation() > 0.3
+
+
+def test_whiteboard_replicates_across_three_sites():
+    sim = Simulator(seed=3)
+    deployment = build_deployment(sim)
+    boards = {
+        "cwb": WhiteboardReplica("cwb"),
+        "gz": WhiteboardReplica("gz"),
+        "cloud": WhiteboardReplica("cloud"),
+    }
+    routes = {
+        ("cwb", "gz"): deployment.topology.channel("cwb", "gz"),
+        ("cwb", "cloud"): deployment.topology.channel("cwb", "cloud"),
+        ("gz", "cwb"): deployment.topology.channel("gz", "cwb"),
+        ("gz", "cloud"): deployment.topology.channel("gz", "cloud"),
+        ("cloud", "cwb"): deployment.topology.channel("cloud", "cwb"),
+        ("cloud", "gz"): deployment.topology.channel("cloud", "gz"),
+    }
+
+    def broadcast(origin, op):
+        for (src, dst), channel in routes.items():
+            if src != origin:
+                continue
+            packet = Packet(src=src, dst=dst, size_bytes=200, kind="wb",
+                            payload=op)
+            channel.send(
+                packet, lambda p, dst=dst: boards[dst].apply(p.payload)
+            )
+
+    def cwb_writer():
+        for i in range(10):
+            op = boards["cwb"].draw([(i, 0), (i, 1)])
+            broadcast("cwb", op)
+            yield sim.timeout(0.5)
+
+    def gz_writer():
+        for i in range(10):
+            op = boards["gz"].draw([(0, i)], color="blue")
+            broadcast("gz", op)
+            if i == 5:
+                erase = boards["gz"].erase(list(boards["gz"].stroke_tags())[:2])
+                broadcast("gz", erase)
+            yield sim.timeout(0.7)
+
+    sim.process(cwb_writer())
+    sim.process(gz_writer())
+    sim.run(until=30.0)
+    assert converged(list(boards.values()))
+    assert len(boards["cloud"].strokes()) == 18  # 20 drawn - 2 erased
+
+
+def test_wifi_saturation_drops_under_packed_room():
+    """Failure mode: a packed classroom's cell sheds frames."""
+    sim = Simulator(seed=4)
+    wifi = WifiNetwork(sim, rate_bps=20e6, contenders=120, cw_min=8,
+                       max_retries=2, name="packed")
+    outcomes = []
+    for i in range(400):
+        ok = wifi.send(
+            Packet(src=f"h{i}", dst="edge", size_bytes=1200),
+            lambda p: None,
+        )
+        outcomes.append(ok)
+        sim.run()
+    dropped = outcomes.count(False)
+    assert dropped > 0                      # saturation is visible...
+    assert wifi.stats.collisions > 100      # ...and caused by collisions
+    assert wifi.stats.dropped == dropped

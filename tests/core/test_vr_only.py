@@ -1,0 +1,60 @@
+"""The VR-only deployment mode: a fully online class, no campuses.
+
+The paper's "Digital Metaverse Classroom Online in VR" can run alone —
+e.g. a public guest lecture with every attendee remote.  The deployment
+must wire and run without any physical classroom.
+"""
+
+import pytest
+
+from repro.core.metaverse import MetaverseClassroom
+from repro.core.participant import Participant, Role
+from repro.simkit import Simulator
+
+
+def test_vr_only_deployment_runs():
+    sim = Simulator(seed=1)
+    deployment = MetaverseClassroom(sim)
+    deployment.add_participant(
+        Participant("prof", city="hkust_cwb".replace("hkust_cwb", "seoul"),
+                    role=Role.INSTRUCTOR)
+    )
+    for i, city in enumerate(("kaist", "mit", "london", "tokyo")):
+        deployment.add_participant(Participant(f"u{i}", city=city))
+    deployment.wire()
+    deployment.run(duration=5.0)
+    assert deployment.report().cloud_visibility() == 1.0
+    # Everyone sees everyone else in the VR room.
+    for i in range(4):
+        known = deployment.remote_clients[f"u{i}"].known_entities
+        assert "prof" in known
+        assert len(known) == 4  # prof + 3 other students
+
+
+def test_vr_only_instructor_on_stage_students_seated():
+    sim = Simulator(seed=2)
+    deployment = MetaverseClassroom(sim)
+    deployment.add_participant(Participant("prof", city="seoul",
+                                           role=Role.INSTRUCTOR))
+    deployment.add_participant(Participant("s0", city="mit"))
+    deployment.wire()
+    deployment.run(duration=3.0)
+    import numpy as np
+    prof_offset = deployment.cloud._seat_offsets["prof"]
+    student_offset = deployment.cloud._seat_offsets["s0"]
+    assert np.linalg.norm(prof_offset) < 1.5        # stage is at the centre
+    assert np.linalg.norm(student_offset) > 2.0     # seats ring the stage
+
+
+def test_vr_only_report_guards():
+    sim = Simulator(seed=3)
+    deployment = MetaverseClassroom(sim)
+    deployment.add_participant(Participant("u0", city="kaist"))
+    deployment.wire()
+    deployment.run(duration=2.0)
+    report = deployment.report()
+    with pytest.raises(RuntimeError):
+        report.cross_campus_visibility()   # no campuses to compare
+    with pytest.raises(RuntimeError):
+        report.remote_visibility_at_campuses()
+    assert report.staleness_cross_campus_ms() == []

@@ -1,0 +1,87 @@
+"""Unit tests for the conversational teaching agent."""
+
+import pytest
+
+from repro.hci.agent import AgentConfig, ConversationalAgent, engagement_uplift
+from repro.simkit import Simulator
+
+
+def ask_burst(sim, agent, n, gap=5.0):
+    def body():
+        for i in range(n):
+            agent.ask(f"s{i}")
+            yield sim.timeout(gap)
+
+    return sim.process(body())
+
+
+def test_agent_answers_and_escalates():
+    sim = Simulator(seed=1)
+    agent = ConversationalAgent(sim, AgentConfig(knowledge_hit_rate=0.7))
+    agent.run(duration=600.0)
+    ask_burst(sim, agent, 20)
+    sim.run()
+    resolved = agent.answered_by_agent + agent.escalated
+    assert resolved == 20
+    assert agent.answered_by_agent > agent.escalated
+    assert 0.4 < agent.answer_rate() <= 1.0
+
+
+def test_agent_latency_tracked_and_escalations_slow():
+    sim = Simulator(seed=2)
+    config = AgentConfig(knowledge_hit_rate=0.0)  # everything escalates
+    agent = ConversationalAgent(sim, config)
+    agent.run(duration=2000.0)
+    ask_burst(sim, agent, 5, gap=60.0)
+    sim.run()
+    assert agent.escalated == 5
+    # Every answer includes the instructor's 45 s turnaround.
+    assert agent.answer_latency.summary().minimum >= config.escalation_time_s
+
+
+def test_agent_degraded_audio_causes_retries():
+    sim = Simulator(seed=3)
+    clean = ConversationalAgent(sim, audio_quality=1.0)
+    sim2 = Simulator(seed=3)
+    noisy = ConversationalAgent(sim2, audio_quality=0.5)
+    clean.run(duration=900.0)
+    noisy.run(duration=900.0)
+    ask_burst(sim, clean, 30, gap=10.0)
+    ask_burst(sim2, noisy, 30, gap=10.0)
+    sim.run()
+    sim2.run()
+    assert noisy.misrecognized > clean.misrecognized
+
+
+def test_agent_queue_length_visible():
+    sim = Simulator(seed=4)
+    agent = ConversationalAgent(sim)
+    agent.ask("a")
+    agent.ask("b")
+    assert agent.queue_length == 2
+
+
+def test_agent_config_validation():
+    with pytest.raises(ValueError):
+        AgentConfig(asr_accuracy_clean=1.5)
+    with pytest.raises(ValueError):
+        AgentConfig(response_time_s=0.0)
+    with pytest.raises(ValueError):
+        AgentConfig().asr_accuracy(1.5)
+    sim = Simulator()
+    agent = ConversationalAgent(sim)
+    with pytest.raises(RuntimeError):
+        agent.answer_rate()
+
+
+def test_engagement_uplift_shape():
+    fast_good = engagement_uplift(answer_rate=0.9, mean_wait_s=5.0)
+    slow_good = engagement_uplift(answer_rate=0.9, mean_wait_s=120.0)
+    fast_bad = engagement_uplift(answer_rate=0.2, mean_wait_s=5.0)
+    assert fast_good > slow_good
+    assert fast_good > fast_bad
+    assert 0.0 <= fast_good <= 0.2
+    with pytest.raises(ValueError):
+        engagement_uplift(1.5, 0.0)
+    with pytest.raises(ValueError):
+        engagement_uplift(0.5, -1.0)

@@ -1,0 +1,91 @@
+"""Unit tests for presence, FOV communication, and engagement."""
+
+import math
+
+import pytest
+
+from repro.avatar.lod import level_by_name
+from repro.baselines.profiles import MODALITY_PROFILES
+from repro.hci.engagement import engagement_index
+from repro.hci.fov import gesture_legibility, nonverbal_bandwidth_bps
+from repro.hci.presence import PresenceFactors, SocialPresenceModel
+from repro.render.display import DisplayModel
+
+
+def test_presence_scores_order_modalities_as_the_paper_claims():
+    """F1 core shape: blended > AR ~ VR > video conference."""
+    model = SocialPresenceModel()
+    scores = {
+        name: model.score(profile.presence)
+        for name, profile in MODALITY_PROFILES.items()
+    }
+    assert scores["blended_metaverse"] > scores["vr_remote"]
+    assert scores["blended_metaverse"] > scores["ar_classroom"]
+    assert scores["vr_remote"] > scores["video_conference"]
+    assert scores["ar_classroom"] > scores["video_conference"]
+
+
+def test_presence_degrades_with_network_quality():
+    model = SocialPresenceModel()
+    factors = MODALITY_PROFILES["blended_metaverse"].presence
+    clean = model.score(factors)
+    degraded = model.degraded(factors, network_quality=0.5)
+    assert degraded < clean
+    # Self-disclosure survives: the score does not collapse to half.
+    assert degraded > clean * 0.5
+    with pytest.raises(ValueError):
+        model.degraded(factors, network_quality=1.5)
+
+
+def test_presence_factors_validation():
+    with pytest.raises(ValueError):
+        PresenceFactors(1.2, 0.5, 0.5, 0.5, 0.5)
+
+
+def test_gesture_legibility_fov_and_lod():
+    wide = DisplayModel(fov_horizontal_deg=110.0)
+    narrow = DisplayModel(name="n", fov_horizontal_deg=40.0)
+    high = level_by_name("high")
+    billboard = level_by_name("billboard")
+    gesture = math.radians(120)
+    assert gesture_legibility(wide, gesture, high) > gesture_legibility(
+        narrow, gesture, high
+    )
+    assert gesture_legibility(wide, gesture, high) > gesture_legibility(
+        wide, gesture, billboard
+    )
+
+
+def test_nonverbal_bandwidth_expression_channel_matters():
+    display = DisplayModel(fov_horizontal_deg=100.0)
+    with_expr = nonverbal_bandwidth_bps(display, level_by_name("high"), 0.8)
+    no_expr = nonverbal_bandwidth_bps(display, level_by_name("low"), 0.8)
+    assert with_expr > no_expr
+
+
+def test_nonverbal_bandwidth_validation():
+    display = DisplayModel()
+    with pytest.raises(ValueError):
+        nonverbal_bandwidth_bps(display, level_by_name("high"), 1.5)
+    with pytest.raises(ValueError):
+        nonverbal_bandwidth_bps(display, level_by_name("high"), 0.5,
+                                gestures_per_minute=-1.0)
+
+
+def test_engagement_index_gated_by_comfort():
+    engaged = engagement_index(0.8, 0.8, 1.0, 0.8)
+    sick = engagement_index(0.8, 0.8, 0.2, 0.8)
+    assert sick == pytest.approx(engaged * 0.2)
+
+
+def test_engagement_index_monotone_in_presence():
+    low = engagement_index(0.2, 0.5, 1.0, 0.5)
+    high = engagement_index(0.9, 0.5, 1.0, 0.5)
+    assert high > low
+
+
+def test_engagement_index_validation():
+    with pytest.raises(ValueError):
+        engagement_index(1.5, 0.5, 0.5, 0.5)
+    with pytest.raises(ValueError):
+        engagement_index(0.5, 0.5, -0.1, 0.5)

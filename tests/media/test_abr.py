@@ -1,0 +1,69 @@
+"""Unit tests for the adaptive bitrate controller."""
+
+import pytest
+
+from repro.media.abr import AbrConfig, AbrController
+
+
+def test_clean_path_ramps_up_to_max():
+    controller = AbrController(initial_bitrate_bps=1e6)
+    for _ in range(60):
+        controller.report(loss_fraction=0.0, one_way_delay_s=0.03)
+    assert controller.bitrate_bps == controller.config.max_bitrate_bps
+    assert controller.decreases == 0
+
+
+def test_loss_triggers_multiplicative_decrease():
+    controller = AbrController(initial_bitrate_bps=4e6)
+    controller.report(loss_fraction=0.1, one_way_delay_s=0.03)
+    assert controller.bitrate_bps == pytest.approx(4e6 * 0.7)
+    assert controller.decreases == 1
+
+
+def test_queueing_delay_triggers_decrease():
+    controller = AbrController(initial_bitrate_bps=4e6)
+    controller.report(loss_fraction=0.0, one_way_delay_s=0.030)  # baseline
+    controller.report(loss_fraction=0.0, one_way_delay_s=0.120)  # +90 ms queue
+    assert controller.decreases == 1
+
+
+def test_bitrate_clamped_to_range():
+    controller = AbrController(initial_bitrate_bps=400e3)
+    for _ in range(30):
+        controller.report(loss_fraction=0.5, one_way_delay_s=0.03)
+    assert controller.bitrate_bps == controller.config.min_bitrate_bps
+
+
+def test_throughput_caps_increase():
+    controller = AbrController(initial_bitrate_bps=1e6)
+    for _ in range(50):
+        controller.report(loss_fraction=0.0, one_way_delay_s=0.03,
+                          throughput_bps=2e6)
+    assert controller.bitrate_bps <= 1.2 * 2e6 + 1e-6
+
+
+def test_oscillation_converges_between_extremes():
+    """Alternating clean/lossy intervals settle into a mid-band rate."""
+    controller = AbrController(initial_bitrate_bps=1e6)
+    for step in range(200):
+        loss = 0.05 if step % 4 == 3 else 0.0
+        controller.report(loss_fraction=loss, one_way_delay_s=0.03)
+    converged = controller.converged_bitrate(last_n=20)
+    assert controller.config.min_bitrate_bps < converged
+    assert converged < controller.config.max_bitrate_bps
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AbrConfig(min_bitrate_bps=2e6, max_bitrate_bps=1e6)
+    with pytest.raises(ValueError):
+        AbrConfig(decrease_factor=1.0)
+    with pytest.raises(ValueError):
+        AbrController(initial_bitrate_bps=1e9)
+    controller = AbrController()
+    with pytest.raises(ValueError):
+        controller.report(loss_fraction=1.5, one_way_delay_s=0.0)
+    with pytest.raises(ValueError):
+        controller.report(loss_fraction=0.0, one_way_delay_s=-1.0)
+    with pytest.raises(ValueError):
+        controller.converged_bitrate(last_n=0)

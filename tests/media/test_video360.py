@@ -1,0 +1,92 @@
+"""Tests for viewport-adaptive 360-degree streaming."""
+
+import math
+
+import pytest
+
+from repro.media.video360 import (
+    TiledSphere,
+    Viewport360Config,
+    bandwidth_saving,
+    blur_probability,
+    streaming_bitrate,
+)
+
+
+def test_tile_of_wraps_and_clamps():
+    sphere = TiledSphere(tiles_yaw=12, tiles_pitch=6)
+    assert sphere.tile_of(0.0, 0.0) == (6, 3)
+    # Yaw wraps: 2*pi + x is the same direction as x (off tile boundaries,
+    # where float epsilon may legitimately flip the bin).
+    assert sphere.tile_of(2 * math.pi + 0.1, 0.2) == sphere.tile_of(0.1, 0.2)
+    # Poles clamp into the last row.
+    assert sphere.tile_of(0.0, math.pi / 2)[1] == 5
+    assert sphere.tile_of(0.0, -math.pi / 2)[1] == 0
+
+
+def test_viewport_tiles_cover_fov_plus_margin():
+    sphere = TiledSphere(tiles_yaw=12, tiles_pitch=6)
+    no_margin = sphere.viewport_tiles(0.0, 0.0, math.radians(90),
+                                      math.radians(90), margin_tiles=0)
+    with_margin = sphere.viewport_tiles(0.0, 0.0, math.radians(90),
+                                        math.radians(90), margin_tiles=1)
+    assert no_margin < with_margin
+    assert len(no_margin) >= 9  # at least a 3x3 block for 90 deg / 30 deg tiles
+
+
+def test_viewport_wraps_across_the_seam():
+    sphere = TiledSphere(tiles_yaw=12, tiles_pitch=6)
+    tiles = sphere.viewport_tiles(math.pi, 0.0, math.radians(90),
+                                  math.radians(60), margin_tiles=0)
+    yaws = {yaw for yaw, _pitch in tiles}
+    # Looking at the +/-pi seam must include columns on both edges.
+    assert 0 in yaws and sphere.tiles_yaw - 1 in yaws
+
+
+def test_streaming_saves_most_of_the_sphere():
+    # Production tilings are finer than 30 degrees; use 15-degree tiles.
+    sphere = TiledSphere(tiles_yaw=24, tiles_pitch=12)
+    viewport = sphere.viewport_tiles(0.0, 0.0, math.radians(100),
+                                     math.radians(90), margin_tiles=1)
+    saving = bandwidth_saving(sphere, viewport)
+    assert saving > 0.5   # well under half the naive bitrate
+    bitrate = streaming_bitrate(sphere, viewport)
+    assert bitrate < Viewport360Config().full_sphere_bps
+
+
+def test_bigger_margin_costs_bandwidth_but_cuts_blur():
+    sphere = TiledSphere()
+    small = sphere.viewport_tiles(0, 0, math.radians(100), math.radians(90), 0)
+    big = sphere.viewport_tiles(0, 0, math.radians(100), math.radians(90), 2)
+    assert streaming_bitrate(sphere, big) > streaming_bitrate(sphere, small)
+    fast_turn = math.radians(120)  # deg/s in radians
+    assert blur_probability(fast_turn, 2, sphere) < blur_probability(fast_turn, 0, sphere)
+
+
+def test_blur_zero_for_still_head():
+    sphere = TiledSphere()
+    assert blur_probability(0.0, 0, sphere) == 0.0
+
+
+def test_blur_grows_with_turn_rate():
+    sphere = TiledSphere()
+    slow = blur_probability(math.radians(30), 1, sphere)
+    fast = blur_probability(math.radians(200), 1, sphere)
+    assert fast > slow
+    assert 0.0 <= fast <= 1.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TiledSphere(tiles_yaw=1)
+    with pytest.raises(ValueError):
+        Viewport360Config(full_sphere_bps=0)
+    with pytest.raises(ValueError):
+        Viewport360Config(base_layer_fraction=1.0)
+    sphere = TiledSphere()
+    with pytest.raises(ValueError):
+        sphere.viewport_tiles(0, 0, 0.0, 1.0)
+    with pytest.raises(ValueError):
+        streaming_bitrate(sphere, set())
+    with pytest.raises(ValueError):
+        blur_probability(-1.0, 0, sphere)

@@ -1,0 +1,98 @@
+"""Unit tests for the queued link model."""
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.simkit import Simulator
+
+
+def make_packet(size=1000):
+    return Packet(src="a", dst="b", size_bytes=size)
+
+
+def test_packet_validation():
+    with pytest.raises(ValueError):
+        Packet(src="a", dst="b", size_bytes=0)
+
+
+def test_packet_clone_fresh_id():
+    p = make_packet()
+    q = p.clone()
+    assert q.pid != p.pid
+    assert q.size_bytes == p.size_bytes
+
+
+def test_link_delivery_time_is_serialization_plus_propagation():
+    sim = Simulator()
+    link = Link(sim, rate_bps=8000.0, prop_delay=0.5)  # 1000B => 1 s tx
+    arrivals = []
+    link.send(make_packet(1000), lambda p: arrivals.append(sim.now))
+    sim.run()
+    assert arrivals == [pytest.approx(1.5)]
+
+
+def test_link_fifo_queueing_serializes_back_to_back():
+    sim = Simulator()
+    link = Link(sim, rate_bps=8000.0, prop_delay=0.0)
+    arrivals = []
+    link.send(make_packet(1000), lambda p: arrivals.append(sim.now))
+    link.send(make_packet(1000), lambda p: arrivals.append(sim.now))
+    sim.run()
+    assert arrivals == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_link_queue_limit_drops():
+    sim = Simulator()
+    link = Link(sim, rate_bps=8000.0, prop_delay=0.0, queue_limit_bytes=1500)
+    ok_first = link.send(make_packet(1000), lambda p: None)
+    ok_second = link.send(make_packet(1000), lambda p: None)  # queued, fits
+    ok_third = link.send(make_packet(1000), lambda p: None)   # exceeds limit
+    assert ok_first and ok_second
+    assert not ok_third
+    assert link.stats.dropped_queue == 1
+
+
+def test_link_random_loss():
+    sim = Simulator(seed=3)
+    link = Link(sim, rate_bps=1e9, prop_delay=0.0, loss_rate=0.5, name="lossy")
+    delivered = []
+    for _ in range(400):
+        link.send(make_packet(100), lambda p: delivered.append(p))
+        sim.run()
+    assert link.stats.dropped_loss > 100
+    assert len(delivered) == link.stats.delivered
+    assert 0.35 < link.stats.loss_fraction < 0.65
+
+
+def test_link_jitter_is_nonnegative_additional_delay():
+    sim = Simulator(seed=5)
+    link = Link(sim, rate_bps=1e9, prop_delay=0.010, jitter_std=0.002)
+    arrivals = []
+    for _ in range(50):
+        start = sim.now
+        link.send(make_packet(100), lambda p, s=start: arrivals.append(sim.now - s))
+        sim.run()
+    floor = 0.010 + 100 * 8 / 1e9
+    assert all(a >= floor - 1e-12 for a in arrivals)
+    assert max(a - floor for a in arrivals) > 0.0
+
+
+def test_link_utilization_and_stats():
+    sim = Simulator()
+    link = Link(sim, rate_bps=8000.0, prop_delay=0.0)
+    link.send(make_packet(1000), lambda p: None)
+    sim.run(until=2.0)
+    assert link.utilization() == pytest.approx(0.5)
+    assert link.stats.delivered == 1
+    assert link.stats.bytes_delivered == 1000
+
+
+def test_link_parameter_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Link(sim, rate_bps=0, prop_delay=0.0)
+    with pytest.raises(ValueError):
+        Link(sim, rate_bps=1e6, prop_delay=-1.0)
+    with pytest.raises(ValueError):
+        Link(sim, rate_bps=1e6, prop_delay=0.0, loss_rate=1.0)

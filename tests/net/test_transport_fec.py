@@ -1,0 +1,160 @@
+"""Unit tests for transports and block FEC."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.fec import BlockCode, FecDecoder, FecEncoder
+from repro.net.geo import WORLD_CITIES
+from repro.net.topology import Site, Topology
+from repro.net.transport import DatagramChannel, ReliableChannel
+from repro.simkit import Simulator
+
+
+def lossy_pair(sim, loss_rate=0.0):
+    topo = Topology(sim)
+    topo.add_site(Site("a", WORLD_CITIES["hkust_cwb"]))
+    topo.add_site(Site("b", WORLD_CITIES["hkust_gz"]))
+    topo.connect("a", "b", rate_bps=100e6, loss_rate=loss_rate)
+    return topo.channel("a", "b"), topo.channel("b", "a")
+
+
+def test_datagram_channel_delivers_payload():
+    sim = Simulator()
+    forward, _ = lossy_pair(sim)
+    channel = DatagramChannel(sim, forward, "a", "b")
+    got = []
+    channel.send({"x": 1}, size_bytes=200, deliver=lambda p: got.append(p.payload))
+    sim.run()
+    assert got == [{"x": 1}]
+    assert channel.sent == 1
+
+
+def test_reliable_channel_in_order_no_loss():
+    sim = Simulator()
+    forward, reverse = lossy_pair(sim)
+    got = []
+    rc = ReliableChannel(sim, forward, reverse, "a", "b", on_deliver=got.append)
+    for i in range(20):
+        rc.send(i, size_bytes=500)
+    sim.run()
+    assert got == list(range(20))
+    assert rc.delivered == 20
+    assert rc.failed == 0
+
+
+def test_reliable_channel_recovers_from_heavy_loss():
+    sim = Simulator(seed=11)
+    forward, reverse = lossy_pair(sim, loss_rate=0.3)
+    got = []
+    rc = ReliableChannel(sim, forward, reverse, "a", "b", on_deliver=got.append)
+    for i in range(50):
+        rc.send(i, size_bytes=400)
+    sim.run()
+    assert got == list(range(50))
+    assert rc.retransmissions > 0
+
+
+def test_reliable_channel_rto_adapts():
+    sim = Simulator()
+    forward, reverse = lossy_pair(sim)
+    rc = ReliableChannel(sim, forward, reverse, "a", "b",
+                         on_deliver=lambda _: None, initial_rto=1.0)
+    rc.send("x", size_bytes=100)
+    sim.run()
+    # Path RTT is ~1.5 ms; RTO must have shrunk drastically from 1 s.
+    assert rc.rto < 0.1
+
+
+def test_block_code_validation_and_overhead():
+    code = BlockCode(k=10, r=3)
+    assert code.n == 13
+    assert code.overhead == pytest.approx(0.3)
+    with pytest.raises(ValueError):
+        BlockCode(k=0, r=1)
+    with pytest.raises(ValueError):
+        BlockCode(k=5, r=-1)
+
+
+def test_block_code_residual_loss_decreases_with_repair():
+    p = 0.05
+    bare = BlockCode(k=10, r=0).residual_loss(p)
+    protected = BlockCode(k=10, r=4).residual_loss(p)
+    assert bare == pytest.approx(p)
+    assert protected < p / 50  # orders of magnitude better
+
+
+def test_fec_round_trip_recovers_erasures():
+    code = BlockCode(k=4, r=2)
+    delivered = []
+    decoder = FecDecoder(code, on_deliver=delivered.append)
+
+    wire = []
+
+    def emit(payload, is_repair, generation, index):
+        if not is_repair:
+            decoder.register_source(generation, index, payload)
+        wire.append((payload, is_repair, generation, index))
+
+    encoder = FecEncoder(code, on_emit=emit)
+    for i in range(4):
+        encoder.push(f"src{i}")
+    assert encoder.source_sent == 4
+    assert encoder.repair_sent == 2
+
+    # Drop two source packets; deliver the rest including both repairs.
+    for payload, is_repair, gen, idx in wire:
+        if idx in (1, 3) and not is_repair:
+            continue
+        decoder.receive(gen, idx, payload, is_repair)
+    assert sorted(delivered) == [f"src{i}" for i in range(4)]
+    assert decoder.delivered_recovered == 2
+    assert decoder.generation_complete(0)
+
+
+def test_fec_insufficient_packets_cannot_recover():
+    code = BlockCode(k=4, r=1)
+    delivered = []
+    decoder = FecDecoder(code, on_deliver=delivered.append)
+    decoder.register_source(0, 0, "a")
+    decoder.receive(0, 0, "a", False)
+    decoder.receive(0, 4, ("repair", 0, 0), True)
+    assert delivered == ["a"]
+    assert not decoder.generation_complete(0)
+
+
+def test_fec_duplicate_packets_ignored():
+    code = BlockCode(k=2, r=1)
+    delivered = []
+    decoder = FecDecoder(code, on_deliver=delivered.append)
+    decoder.receive(0, 0, "a", False)
+    decoder.receive(0, 0, "a", False)
+    assert delivered == ["a"]
+
+
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=0, max_value=6),
+    st.floats(min_value=0.0, max_value=0.6),
+)
+def test_fec_residual_loss_never_worse_than_raw(k, r, p):
+    assert BlockCode(k, r).residual_loss(p) <= p + 1e-12
+
+
+def test_reliable_channel_gives_up_after_max_retries():
+    """A dead forward path exhausts retries and counts the failure."""
+    sim = Simulator(seed=99)
+
+    class DeadChannel:
+        def send(self, packet, deliver):
+            pass  # black hole
+
+    _, reverse = lossy_pair(sim)
+    rc = ReliableChannel(sim, DeadChannel(), reverse, "a", "b",
+                         on_deliver=lambda p: None,
+                         initial_rto=0.01, max_retries=3)
+    rc.send("doomed", size_bytes=100)
+    sim.run()
+    assert rc.failed == 1
+    assert rc.delivered == 0
+    assert rc.retransmissions == 3

@@ -1,0 +1,92 @@
+"""Unit tests for the WiFi cell and token bucket."""
+
+import pytest
+
+from repro.net.bandwidth import TokenBucket
+from repro.net.packet import Packet
+from repro.net.wifi import WifiNetwork
+from repro.simkit import Simulator
+
+
+def test_wifi_collision_probability_grows_with_contenders():
+    sim = Simulator()
+    single = WifiNetwork(sim, contenders=1)
+    crowded = WifiNetwork(sim, contenders=30, name="crowded")
+    assert single.collision_probability() == 0.0
+    assert crowded.collision_probability() > 0.5
+
+
+def test_wifi_delivers_on_idle_medium():
+    sim = Simulator(seed=1)
+    wifi = WifiNetwork(sim, rate_bps=300e6, contenders=1)
+    arrivals = []
+    ok = wifi.send(Packet(src="hmd", dst="edge", size_bytes=1500),
+                   lambda p: arrivals.append(sim.now))
+    sim.run()
+    assert ok
+    assert len(arrivals) == 1
+    # A 1500B frame at 300 Mbps plus overheads lands well under 1 ms.
+    assert arrivals[0] < 1e-3
+
+
+def test_wifi_contention_slows_frames():
+    latencies = {}
+    for n in (1, 40):
+        sim = Simulator(seed=2)
+        wifi = WifiNetwork(sim, rate_bps=50e6, contenders=n, name=f"n{n}")
+        done = []
+        for _ in range(200):
+            wifi.send(Packet(src="hmd", dst="edge", size_bytes=1200),
+                      lambda p: done.append(sim.now))
+            sim.run()
+        latencies[n] = sim.now / max(1, len(done))
+    assert latencies[40] > latencies[1]
+
+
+def test_wifi_expected_latency_analytic_monotone():
+    sim = Simulator()
+    quiet = WifiNetwork(sim, contenders=1).expected_frame_latency(1200)
+    busy = WifiNetwork(sim, contenders=50, name="w2").expected_frame_latency(1200)
+    assert busy > quiet > 0
+
+
+def test_wifi_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        WifiNetwork(sim, rate_bps=0)
+    with pytest.raises(ValueError):
+        WifiNetwork(sim, contenders=0)
+
+
+def test_token_bucket_burst_then_rate():
+    bucket = TokenBucket(rate_bps=8000.0, burst_bytes=1000)  # 1000 B/s refill
+    assert bucket.consume(1000, now=0.0)
+    assert not bucket.consume(500, now=0.0)
+    # After 0.5 s, 500 bytes of tokens returned.
+    assert bucket.consume(500, now=0.5)
+
+
+def test_token_bucket_conform_delay():
+    bucket = TokenBucket(rate_bps=8000.0, burst_bytes=1000)
+    bucket.consume(1000, now=0.0)
+    assert bucket.conform_delay(500, now=0.0) == pytest.approx(0.5)
+    assert bucket.conform_delay(100, now=1.0) == 0.0
+
+
+def test_token_bucket_never_exceeds_burst():
+    bucket = TokenBucket(rate_bps=8000.0, burst_bytes=1000)
+    assert bucket.tokens(now=100.0) == 1000.0
+
+
+def test_token_bucket_time_backwards_rejected():
+    bucket = TokenBucket(rate_bps=8000.0, burst_bytes=1000)
+    bucket.consume(10, now=5.0)
+    with pytest.raises(ValueError):
+        bucket.consume(10, now=4.0)
+
+
+def test_token_bucket_validation():
+    with pytest.raises(ValueError):
+        TokenBucket(rate_bps=0, burst_bytes=100)
+    with pytest.raises(ValueError):
+        TokenBucket(rate_bps=100, burst_bytes=0)

@@ -1,0 +1,142 @@
+"""Unit tests for the fuzzy engine and susceptibility system."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sickness.fuzzy import FuzzyRule, FuzzySystem, FuzzyVariable, TriangularMF
+from repro.sickness.susceptibility import (
+    UserTraits,
+    susceptibility_of,
+    susceptibility_system,
+)
+
+
+def test_triangular_mf_shape():
+    mf = TriangularMF(0.0, 5.0, 10.0)
+    assert mf(0.0) == 0.0
+    assert mf(5.0) == 1.0
+    assert mf(10.0) == 0.0
+    assert mf(2.5) == pytest.approx(0.5)
+    assert mf(-1.0) == 0.0
+    assert mf(11.0) == 0.0
+
+
+def test_triangular_mf_shoulders():
+    left = TriangularMF(0.0, 0.0, 10.0)
+    right = TriangularMF(0.0, 10.0, 10.0)
+    assert left(-5.0) == 1.0  # full membership off the left edge
+    assert left(0.0) == 1.0
+    assert right(15.0) == 1.0
+    assert right(10.0) == 1.0
+
+
+def test_triangular_mf_validation():
+    with pytest.raises(ValueError):
+        TriangularMF(5.0, 4.0, 10.0)
+    with pytest.raises(ValueError):
+        TriangularMF(5.0, 5.0, 5.0)
+
+
+@given(st.floats(min_value=-20, max_value=20))
+def test_triangular_mf_in_unit_interval(x):
+    mf = TriangularMF(-3.0, 1.0, 7.0)
+    assert 0.0 <= mf(x) <= 1.0
+
+
+def simple_system():
+    temp = FuzzyVariable(
+        "temp", (0.0, 40.0),
+        {"cold": TriangularMF(0, 0, 20), "hot": TriangularMF(20, 40, 40)},
+    )
+    power = FuzzyVariable(
+        "power", (0.0, 1.0),
+        {"low": TriangularMF(0, 0, 0.5), "high": TriangularMF(0.5, 1, 1)},
+    )
+    rules = [
+        FuzzyRule({"temp": "cold"}, "high"),
+        FuzzyRule({"temp": "hot"}, "low"),
+    ]
+    return FuzzySystem([temp], power, rules)
+
+
+def test_fuzzy_system_interpolates():
+    system = simple_system()
+    cold = system.evaluate({"temp": 2.0})
+    hot = system.evaluate({"temp": 38.0})
+    middle = system.evaluate({"temp": 20.0})
+    assert cold > 0.7
+    assert hot < 0.3
+    assert hot < middle < cold
+
+
+def test_fuzzy_system_missing_input():
+    with pytest.raises(KeyError):
+        simple_system().evaluate({})
+
+
+def test_fuzzy_system_unknown_references():
+    temp = FuzzyVariable("temp", (0, 1), {"a": TriangularMF(0, 0, 1)})
+    out = FuzzyVariable("out", (0, 1), {"b": TriangularMF(0, 1, 1)})
+    with pytest.raises(KeyError):
+        FuzzySystem([temp], out, [FuzzyRule({"nope": "a"}, "b")])
+    with pytest.raises(KeyError):
+        FuzzySystem([temp], out, [FuzzyRule({"temp": "zzz"}, "b")])
+    with pytest.raises(KeyError):
+        FuzzySystem([temp], out, [FuzzyRule({"temp": "a"}, "zzz")])
+    with pytest.raises(ValueError):
+        FuzzySystem([temp], out, [])
+
+
+def test_fuzzy_variable_validation():
+    with pytest.raises(ValueError):
+        FuzzyVariable("x", (1.0, 0.0), {"a": TriangularMF(0, 0, 1)})
+    with pytest.raises(ValueError):
+        FuzzyVariable("x", (0.0, 1.0), {})
+    with pytest.raises(ValueError):
+        FuzzyRule({}, "a")
+
+
+def test_susceptibility_orderings():
+    """C2 shape (Wang et al.): young gamers are least susceptible."""
+    system = susceptibility_system()
+    young_gamer = susceptibility_of(
+        UserTraits(age_years=22, gaming_hours_per_week=15), system
+    )
+    older_nongamer = susceptibility_of(
+        UserTraits(age_years=60, gaming_hours_per_week=0), system
+    )
+    average = susceptibility_of(
+        UserTraits(age_years=30, gaming_hours_per_week=4), system
+    )
+    assert young_gamer < average < older_nongamer
+    assert 0.5 <= young_gamer <= 2.0
+    assert 0.5 <= older_nongamer <= 2.0
+
+
+def test_susceptibility_gender_and_habituation():
+    system = susceptibility_system()
+    base = UserTraits(age_years=25, gaming_hours_per_week=3)
+    female = UserTraits(25, 3, gender="female")
+    veteran = UserTraits(25, 3, prior_vr_sessions=8)
+    assert susceptibility_of(female, system) > susceptibility_of(base, system)
+    assert susceptibility_of(veteran, system) < susceptibility_of(base, system)
+
+
+@given(
+    st.floats(min_value=5, max_value=100),
+    st.floats(min_value=0, max_value=30),
+)
+def test_susceptibility_bounded(age, gaming):
+    system = susceptibility_system()
+    value = susceptibility_of(UserTraits(age, gaming), system)
+    assert 0.25 <= value <= 2.5  # fuzzy range x crisp multipliers
+
+
+def test_traits_validation():
+    with pytest.raises(ValueError):
+        UserTraits(age_years=2.0)
+    with pytest.raises(ValueError):
+        UserTraits(gaming_hours_per_week=-1.0)
+    with pytest.raises(ValueError):
+        UserTraits(prior_vr_sessions=-1)

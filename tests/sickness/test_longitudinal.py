@@ -1,0 +1,87 @@
+"""Tests for the semester-scale habituation/attrition model."""
+
+import numpy as np
+import pytest
+
+from repro.sickness.conflict import ExposureConfig
+from repro.sickness.longitudinal import (
+    SemesterSimulation,
+    habituation_sessions_to_floor,
+)
+from repro.sickness.susceptibility import UserTraits
+
+
+def cohort(n=30, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        UserTraits(
+            age_years=float(np.clip(rng.normal(23, 4), 17, 60)),
+            gaming_hours_per_week=float(np.clip(rng.exponential(4), 0, 30)),
+        )
+        for _ in range(n)
+    ]
+
+
+def test_mean_ssq_declines_over_the_semester():
+    """Habituation: later sessions are gentler for the survivors."""
+    simulation = SemesterSimulation(
+        cohort(), ExposureConfig(navigation_speed_m_s=1.5),
+        rng=np.random.default_rng(1),
+    )
+    outcome = simulation.run(n_sessions=12)
+    early = np.mean(outcome.mean_ssq_by_session[:3])
+    late = np.mean(outcome.mean_ssq_by_session[-3:])
+    assert late < early
+
+
+def test_aggressive_settings_cause_dropouts():
+    gentle = SemesterSimulation(
+        cohort(), ExposureConfig(navigation_speed_m_s=0.5),
+        rng=np.random.default_rng(2),
+    ).run(n_sessions=10)
+    harsh = SemesterSimulation(
+        cohort(), ExposureConfig(navigation_speed_m_s=4.0,
+                                 motion_to_photon_ms=90.0),
+        rng=np.random.default_rng(2),
+    ).run(n_sessions=10)
+    assert harsh.total_dropouts > gentle.total_dropouts
+    assert gentle.remaining > harsh.remaining
+
+
+def test_dropouts_cluster_early():
+    """Whoever survives the first weeks habituates and stays."""
+    simulation = SemesterSimulation(
+        cohort(60, seed=5), ExposureConfig(navigation_speed_m_s=2.5),
+        dropout_threshold=45.0, rng=np.random.default_rng(3),
+    )
+    outcome = simulation.run(n_sessions=12)
+    first_half = sum(outcome.dropouts_by_session[:6])
+    second_half = sum(outcome.dropouts_by_session[6:])
+    assert first_half >= second_half
+
+
+def test_everyone_gone_is_handled():
+    simulation = SemesterSimulation(
+        cohort(5), ExposureConfig(navigation_speed_m_s=6.0,
+                                  motion_to_photon_ms=200.0),
+        dropout_threshold=5.0, rng=np.random.default_rng(4),
+    )
+    outcome = simulation.run(n_sessions=6)
+    assert outcome.remaining == 0
+    assert len(outcome.mean_ssq_by_session) == 6
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SemesterSimulation([], ExposureConfig())
+    with pytest.raises(ValueError):
+        SemesterSimulation(cohort(2), ExposureConfig(), session_minutes=0.0)
+    with pytest.raises(ValueError):
+        SemesterSimulation(cohort(2), ExposureConfig(), dropout_threshold=0.0)
+    with pytest.raises(ValueError):
+        SemesterSimulation(cohort(2), ExposureConfig()).run(0)
+
+
+def test_habituation_floor_sessions():
+    sessions = habituation_sessions_to_floor()
+    assert 10 <= sessions <= 20  # 0.4 deficit / 0.03 per session ≈ 14

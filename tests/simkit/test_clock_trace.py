@@ -1,0 +1,73 @@
+"""Unit tests for virtual clocks and the tracer."""
+
+import pytest
+
+from repro.simkit import Simulator, Tracer, VirtualClock
+
+
+def test_clock_without_error_tracks_sim_time():
+    sim = Simulator()
+    clock = VirtualClock(sim)
+    sim.run(until=10.0)
+    assert clock.read() == pytest.approx(10.0)
+    assert clock.error() == pytest.approx(0.0)
+
+
+def test_clock_offset():
+    sim = Simulator()
+    clock = VirtualClock(sim, offset=0.25)
+    assert clock.read() == pytest.approx(0.25)
+    sim.run(until=4.0)
+    assert clock.error() == pytest.approx(0.25)
+
+
+def test_clock_drift_accumulates():
+    sim = Simulator()
+    clock = VirtualClock(sim, drift_ppm=100.0)  # 100 us/s fast
+    sim.run(until=1000.0)
+    assert clock.error() == pytest.approx(0.1, rel=1e-6)
+
+
+def test_clock_adjust_steps_offset():
+    sim = Simulator()
+    clock = VirtualClock(sim, offset=1.0)
+    clock.adjust(-1.0)
+    assert clock.error() == pytest.approx(0.0)
+
+
+def test_clock_discipline_trims_rate_not_history():
+    sim = Simulator()
+    clock = VirtualClock(sim, drift_ppm=50.0)
+    sim.run(until=100.0)
+    accumulated = clock.error()
+    clock.discipline(50.0)  # kill the drift going forward
+    sim.run(until=200.0)
+    assert clock.error() == pytest.approx(accumulated, abs=1e-9)
+    assert clock.drift_ppm == pytest.approx(0.0)
+
+
+def test_tracer_records_and_filters():
+    sim = Simulator(trace=True)
+    sim.tracer.record("net", "packet sent", size=100)
+    sim.run(until=5.0)
+    sim.tracer.record("render", "frame")
+    assert sim.tracer.count() == 2
+    assert sim.tracer.count("net") == 1
+    net_record = next(sim.tracer.select("net"))
+    assert net_record.time == 0.0
+    assert net_record.fields["size"] == 100
+    assert "packet sent" in str(net_record)
+
+
+def test_tracer_ring_limit():
+    sim = Simulator()
+    tracer = Tracer(sim, limit=10)
+    for i in range(25):
+        tracer.record("cat", f"msg{i}")
+    assert len(tracer.records) == 10
+    assert tracer.dropped == 15
+    assert tracer.records[-1].message == "msg24"
+
+
+def test_tracer_disabled_by_default():
+    assert Simulator().tracer is None

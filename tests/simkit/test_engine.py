@@ -1,0 +1,115 @@
+"""Unit tests for the simulator event loop."""
+
+import pytest
+
+from repro.simkit import Simulator
+from repro.simkit.errors import SimkitError
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(2.5)
+    sim.run()
+    assert sim.now == 2.5
+
+
+def test_run_until_advances_clock_even_without_events():
+    sim = Simulator()
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_run_until_does_not_process_later_events():
+    sim = Simulator()
+    fired = []
+    sim.call_later(5.0, lambda: fired.append(5.0))
+    sim.call_later(15.0, lambda: fired.append(15.0))
+    sim.run(until=10.0)
+    assert fired == [5.0]
+    assert sim.now == 10.0
+    sim.run()
+    assert fired == [5.0, 15.0]
+
+
+def test_run_into_the_past_rejected():
+    sim = Simulator()
+    sim.run(until=5.0)
+    with pytest.raises(SimkitError):
+        sim.run(until=1.0)
+
+
+def test_call_at_and_call_later():
+    sim = Simulator()
+    times = []
+    sim.call_at(3.0, lambda: times.append(sim.now))
+    sim.call_later(1.0, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [1.0, 3.0]
+
+
+def test_call_at_past_rejected():
+    sim = Simulator()
+    sim.run(until=2.0)
+    with pytest.raises(SimkitError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for label in ("a", "b", "c"):
+        sim.call_later(1.0, lambda label=label: order.append(label))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_step_on_empty_schedule_raises():
+    sim = Simulator()
+    with pytest.raises(SimkitError):
+        sim.step()
+
+
+def test_peek():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(4.0)
+    assert sim.peek() == 4.0
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_run_process_returns_value():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.timeout(1.0)
+        return 42
+
+    assert sim.run_process(body(sim)) == 42
+
+
+def test_run_process_unfinished_raises():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.timeout(100.0)
+
+    with pytest.raises(SimkitError):
+        sim.run_process(body(sim), until=1.0)
+
+
+def test_rng_streams_reproducible():
+    a = Simulator(seed=123).rng.stream("x").random(5)
+    b = Simulator(seed=123).rng.stream("x").random(5)
+    c = Simulator(seed=124).rng.stream("x").random(5)
+    assert list(a) == list(b)
+    assert list(a) != list(c)

@@ -1,0 +1,173 @@
+"""Unit tests for generator processes."""
+
+import pytest
+
+from repro.simkit import Simulator
+from repro.simkit.errors import Interrupt, SimkitError, StopProcess
+
+
+def test_process_runs_and_returns():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+        return "done"
+
+    proc = sim.process(body(sim))
+    sim.run()
+    assert sim.now == 3.0
+    assert proc.ok
+    assert proc.value == "done"
+
+
+def test_timeout_value_delivered_to_process():
+    sim = Simulator()
+
+    def body(sim):
+        got = yield sim.timeout(1.0, value="hello")
+        return got
+
+    assert sim.run_process(body(sim)) == "hello"
+
+
+def test_process_waits_on_process():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(2.0)
+        return 7
+
+    def parent(sim):
+        value = yield sim.process(child(sim))
+        return value * 2
+
+    assert sim.run_process(parent(sim)) == 14
+
+
+def test_exception_in_process_surfaces():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("kaboom")
+
+    sim.process(body(sim))
+    with pytest.raises(RuntimeError, match="kaboom"):
+        sim.run()
+
+
+def test_waiting_parent_sees_child_exception():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("child died")
+
+    def parent(sim):
+        try:
+            yield sim.process(child(sim))
+        except ValueError as exc:
+            return f"handled: {exc}"
+
+    assert sim.run_process(parent(sim)) == "handled: child died"
+
+
+def test_yield_non_event_fails_process():
+    sim = Simulator()
+
+    def body(sim):
+        yield 42
+
+    proc = sim.process(body(sim))
+    with pytest.raises(SimkitError):
+        sim.run()
+    assert proc.triggered and not proc.ok
+
+
+def test_interrupt_wakes_a_sleeper():
+    sim = Simulator()
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+            return "overslept"
+        except Interrupt as interrupt:
+            return ("woken", interrupt.cause, sim.now)
+
+    def alarm(sim, proc):
+        yield sim.timeout(3.0)
+        proc.interrupt(cause="alarm")
+
+    proc = sim.process(sleeper(sim))
+    sim.process(alarm(sim, proc))
+    sim.run()
+    assert proc.value == ("woken", "alarm", 3.0)
+
+
+def test_interrupt_finished_process_rejected():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.timeout(1.0)
+
+    proc = sim.process(body(sim))
+    sim.run()
+    with pytest.raises(SimkitError):
+        proc.interrupt()
+
+
+def test_self_interrupt_rejected():
+    sim = Simulator()
+
+    def body(sim):
+        me = sim.active_process
+        with pytest.raises(SimkitError):
+            me.interrupt()
+        yield sim.timeout(1.0)
+
+    sim.run_process(body(sim))
+
+
+def test_stop_process_exception_finishes_with_value():
+    sim = Simulator()
+
+    def helper():
+        raise StopProcess("early")
+
+    def body(sim):
+        yield sim.timeout(1.0)
+        helper()
+        yield sim.timeout(1.0)  # pragma: no cover
+
+    assert sim.run_process(body(sim)) == "early"
+
+
+def test_yield_already_processed_event_continues_immediately():
+    sim = Simulator()
+    done = sim.timeout(1.0, value="past")
+    sim.run()
+
+    def body(sim):
+        value = yield done
+        return (value, sim.now)
+
+    assert sim.run_process(body(sim)) == ("past", 1.0)
+
+
+def test_is_alive():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.timeout(5.0)
+
+    proc = sim.process(body(sim))
+    assert proc.is_alive
+    sim.run()
+    assert not proc.is_alive
+
+
+def test_non_generator_rejected():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)

@@ -1,0 +1,129 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.simkit import Simulator
+from repro.simkit.errors import SimkitError
+from repro.simkit.resource import Resource, Store
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert res.count == 2
+    assert res.queue_length == 1
+    res.release(r1)
+    assert r3.triggered
+    assert res.count == 2
+
+
+def test_resource_fifo_order():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    holder = res.request()
+    waiters = [res.request() for _ in range(3)]
+    res.release(holder)
+    assert waiters[0].triggered
+    assert not waiters[1].triggered
+
+
+def test_release_unknown_request_rejected():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    other = Resource(sim, capacity=1)
+    req = other.request()
+    with pytest.raises(SimkitError):
+        res.release(req)
+
+
+def test_release_queued_request_cancels_it():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    holder = res.request()
+    queued = res.request()
+    res.release(queued)  # cancel while waiting
+    assert res.queue_length == 0
+    res.release(holder)
+    assert not queued.triggered
+
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_under_contention_serializes_processes():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    spans = []
+
+    def worker(sim, name):
+        req = res.request()
+        yield req
+        start = sim.now
+        yield sim.timeout(2.0)
+        res.release(req)
+        spans.append((name, start, sim.now))
+
+    for name in ("a", "b", "c"):
+        sim.process(worker(sim, name))
+    sim.run()
+    assert spans == [("a", 0.0, 2.0), ("b", 2.0, 4.0), ("c", 4.0, 6.0)]
+
+
+def test_store_put_get_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+    store.put("y")
+    got = store.get()
+    assert got.triggered and got.value == "x"
+    assert store.try_get() == "y"
+    assert store.try_get() is None
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+
+    def consumer(sim):
+        item = yield store.get()
+        return (item, sim.now)
+
+    def producer(sim):
+        yield sim.timeout(3.0)
+        store.put("late")
+
+    sim.process(producer(sim))
+    assert sim.run_process(consumer(sim)) == ("late", 3.0)
+
+
+def test_store_capacity_blocks_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    first = store.put("a")
+    second = store.put("b")
+    assert first.triggered
+    assert not second.triggered
+    got = store.get()
+    assert got.value == "a"
+    assert second.triggered
+    assert list(store.items) == ["b"]
+
+
+def test_store_len():
+    sim = Simulator()
+    store = Store(sim)
+    assert len(store) == 0
+    store.put(1)
+    assert len(store) == 1
+
+
+def test_store_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)

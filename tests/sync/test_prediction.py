@@ -1,0 +1,89 @@
+"""Unit tests for client-side prediction and reconciliation."""
+
+import numpy as np
+import pytest
+
+from repro.sync.prediction import (
+    MoveInput,
+    PredictedAvatar,
+    prediction_error_without_reconciliation,
+)
+
+
+def test_inputs_apply_immediately():
+    avatar = PredictedAvatar(np.zeros(3))
+    avatar.apply_input(velocity=[1.0, 0.0, 0.0], dt=0.5)
+    assert np.allclose(avatar.position, [0.5, 0.0, 0.0])
+    assert avatar.unacked_inputs == 1
+
+
+def test_reconcile_with_agreeing_server_is_noop():
+    avatar = PredictedAvatar(np.zeros(3))
+    move = avatar.apply_input([1.0, 0.0, 0.0], dt=1.0)
+    # Server confirms exactly what we predicted for that input.
+    correction = avatar.reconcile(server_position=[1.0, 0.0, 0.0],
+                                  acked_seq=move.seq)
+    assert correction == pytest.approx(0.0)
+    assert avatar.unacked_inputs == 0
+    assert np.allclose(avatar.position, [1.0, 0.0, 0.0])
+
+
+def test_reconcile_replays_unacked_inputs():
+    avatar = PredictedAvatar(np.zeros(3))
+    first = avatar.apply_input([1.0, 0.0, 0.0], dt=1.0)
+    avatar.apply_input([0.0, 1.0, 0.0], dt=1.0)   # not yet acked
+    # Server acks input 0 but places us slightly off (collision etc.).
+    correction = avatar.reconcile(server_position=[0.8, 0.0, 0.0],
+                                  acked_seq=first.seq)
+    assert correction == pytest.approx(0.2)
+    # Authoritative position = server + replayed pending input.
+    assert np.allclose(avatar.position, [0.8, 1.0, 0.0])
+    assert avatar.unacked_inputs == 1
+    assert avatar.corrections_applied == 1
+
+
+def test_correction_is_smoothed_not_snapped():
+    avatar = PredictedAvatar(np.zeros(3), smoothing_window_s=0.2)
+    move = avatar.apply_input([1.0, 0.0, 0.0], dt=1.0)
+    avatar.reconcile(server_position=[0.5, 0.0, 0.0], acked_seq=move.seq)
+    # Immediately after reconcile, the display shows the old position...
+    displayed_now = avatar.smoothed_position(0.0)
+    assert np.allclose(displayed_now, [1.0, 0.0, 0.0])
+    # ...half way through the window it's half corrected...
+    displayed_mid = avatar.smoothed_position(0.1)
+    assert np.allclose(displayed_mid, [0.75, 0.0, 0.0])
+    # ...and after the window it is fully authoritative.
+    displayed_end = avatar.smoothed_position(0.3)
+    assert np.allclose(displayed_end, [0.5, 0.0, 0.0])
+
+
+def test_zero_smoothing_snaps():
+    avatar = PredictedAvatar(np.zeros(3), smoothing_window_s=0.0)
+    move = avatar.apply_input([1.0, 0.0, 0.0], dt=1.0)
+    avatar.reconcile([0.5, 0.0, 0.0], move.seq)
+    assert np.allclose(avatar.smoothed_position(0.0), [0.5, 0.0, 0.0])
+
+
+def test_prediction_removes_rtt_lag():
+    """The point of the mechanism: self-latency without prediction."""
+    lag = prediction_error_without_reconciliation([1.5, 0.0, 0.0], rtt=0.2)
+    assert lag == pytest.approx(0.3)  # 30 cm of self-lag at walking speed
+    with pytest.raises(ValueError):
+        prediction_error_without_reconciliation([1.0, 0, 0], rtt=-0.1)
+
+
+def test_validation():
+    avatar = PredictedAvatar(np.zeros(3))
+    with pytest.raises(ValueError):
+        avatar.apply_input([1, 0, 0], dt=0.0)
+    with pytest.raises(ValueError):
+        avatar.smoothed_position(-0.1)
+    with pytest.raises(ValueError):
+        PredictedAvatar(np.zeros(3), smoothing_window_s=-1.0)
+
+
+def test_long_input_stream_bounded_history():
+    avatar = PredictedAvatar(np.zeros(3), max_history=16)
+    for _ in range(100):
+        avatar.apply_input([0.1, 0.0, 0.0], dt=0.05)
+    assert avatar.unacked_inputs == 16  # deque cap, no unbounded growth

@@ -1,0 +1,71 @@
+"""Unit tests for NTP-style time synchronization."""
+
+import pytest
+
+from repro.simkit import Simulator, VirtualClock
+from repro.sync.timesync import NtpSynchronizer
+
+
+def symmetric_transport(sim, one_way=0.010, jitter_stream=None):
+    def send(ping, server_stamp, on_reply):
+        def at_server():
+            server_stamp(ping)
+            extra = 0.0
+            if jitter_stream is not None:
+                extra = float(jitter_stream.exponential(0.002))
+            sim.call_later(one_way + extra, lambda: on_reply(ping))
+
+        extra = 0.0
+        if jitter_stream is not None:
+            extra = float(jitter_stream.exponential(0.002))
+        sim.call_later(one_way + extra, at_server)
+
+    return send
+
+
+def test_sync_corrects_constant_offset():
+    sim = Simulator(seed=1)
+    client = VirtualClock(sim, offset=0.5)   # half a second fast
+    server = VirtualClock(sim)
+    sync = NtpSynchronizer(sim, client, server,
+                           symmetric_transport(sim), burst=1)
+    sync.sync_once()
+    sim.run()
+    assert abs(client.error()) < 1e-6
+    assert sync.last_offset_estimate == pytest.approx(-0.5, abs=1e-6)
+
+
+def test_sync_with_jitter_burst_beats_single_exchange():
+    residuals = {}
+    for burst in (1, 8):
+        sim = Simulator(seed=42)
+        client = VirtualClock(sim, offset=0.1)
+        server = VirtualClock(sim)
+        transport = symmetric_transport(
+            sim, jitter_stream=sim.rng.stream("jitter")
+        )
+        sync = NtpSynchronizer(sim, client, server, transport, burst=burst)
+        sync.sync_once()
+        sim.run()
+        residuals[burst] = abs(client.error())
+    assert residuals[8] <= residuals[1] + 1e-6
+
+
+def test_periodic_sync_bounds_drift():
+    sim = Simulator(seed=2)
+    client = VirtualClock(sim, offset=0.0, drift_ppm=200.0)  # drifts 0.2 ms/s
+    server = VirtualClock(sim)
+    sync = NtpSynchronizer(sim, client, server, symmetric_transport(sim), burst=2)
+    sync.run(duration=300.0, interval=16.0)
+    sim.run()
+    # Unsynced, 300 s at 200 ppm would be 60 ms off; syncing every 16 s
+    # keeps the residual near 16 s * 200 ppm = 3.2 ms.
+    assert abs(client.error()) < 0.005
+    assert sync.exchanges >= 2 * (300 // 16)
+
+
+def test_sync_burst_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        NtpSynchronizer(sim, VirtualClock(sim), VirtualClock(sim),
+                        symmetric_transport(sim), burst=0)

@@ -1,0 +1,55 @@
+"""Determinism guarantees: a run is a pure function of (config, seed)."""
+
+import numpy as np
+
+from repro.core.metaverse import MetaverseClassroom
+from repro.core.participant import Participant
+from repro.simkit import Simulator
+
+
+def run_once(seed):
+    sim = Simulator(seed=seed)
+    deployment = MetaverseClassroom(sim)
+    deployment.add_campus("cwb", city="hkust_cwb")
+    deployment.add_campus("gz", city="hkust_gz")
+    for campus in ("cwb", "gz"):
+        for i in range(2):
+            deployment.add_participant(Participant(f"{campus}-{i}", campus=campus))
+    deployment.add_participant(Participant("remote-0", city="kaist"))
+    deployment.wire()
+    deployment.run(duration=4.0)
+    report = deployment.report()
+    cwb = deployment.campuses["cwb"]
+    fingerprint = (
+        tuple(report.staleness_cross_campus_ms()),
+        tuple(cwb.uplink_budget.tracker("wifi_uplink").samples),
+        cwb.edge.states_sent,
+        deployment.cloud.edge_states_ingested,
+        deployment.remote_clients["remote-0"].snapshots_received,
+        tuple(
+            float(x)
+            for x in deployment.cloud.sync.world.entities["cwb-0"].pose.position
+        ),
+    )
+    return fingerprint
+
+
+def test_same_seed_identical_run():
+    assert run_once(1234) == run_once(1234)
+
+
+def test_different_seed_different_run():
+    a, b = run_once(1), run_once(2)
+    # Counters may coincide; the continuous traces must not.
+    assert a[1] != b[1] or a[5] != b[5]
+
+
+def test_rng_streams_isolated_from_each_other():
+    """Drawing from one stream never perturbs another."""
+    sim_a = Simulator(seed=9)
+    sim_b = Simulator(seed=9)
+    # In run A, interleave heavy draws on an unrelated stream.
+    sim_a.rng.stream("noise").random(10_000)
+    a = sim_a.rng.stream("target").random(5)
+    b = sim_b.rng.stream("target").random(5)
+    assert np.allclose(a, b)

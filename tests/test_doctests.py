@@ -1,0 +1,11 @@
+"""Docstring examples must actually work."""
+
+import doctest
+
+import repro.simkit
+
+
+def test_simkit_doctest():
+    results = doctest.testmod(repro.simkit, verbose=False)
+    assert results.attempted > 0
+    assert results.failed == 0

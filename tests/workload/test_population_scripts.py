@@ -1,0 +1,121 @@
+"""Unit tests for populations, arrivals, and activity scripts."""
+
+import numpy as np
+import pytest
+
+from repro.workload.arrival import BurstyArrivals, PoissonArrivals
+from repro.workload.lecture import (
+    ActivityPhase,
+    standard_script,
+)
+from repro.workload.population import (
+    DEFAULT_CITY_WEIGHTS,
+    sample_worldwide,
+)
+
+
+def test_sample_worldwide_counts_and_fields():
+    population = sample_worldwide(200, np.random.default_rng(0))
+    assert len(population) == 200
+    user = population.users[0]
+    assert user.city in DEFAULT_CITY_WEIGHTS
+    assert user.region
+    assert user.user_id.startswith("remote-")
+
+
+def test_sample_worldwide_skews_east_asian():
+    population = sample_worldwide(2000, np.random.default_rng(1))
+    by_region = population.by_region()
+    east_asia = len(by_region.get("east_asia", []))
+    assert east_asia > 0.3 * len(population)
+
+
+def test_sample_worldwide_custom_weights():
+    population = sample_worldwide(
+        50, np.random.default_rng(2), weights={"london": 1.0}
+    )
+    assert population.cities() == ["london"]
+    assert all(user.region == "europe" for user in population.users)
+
+
+def test_sample_worldwide_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        sample_worldwide(-1, rng)
+    with pytest.raises(ValueError):
+        sample_worldwide(5, rng, weights={"london": -1.0})
+
+
+def test_poisson_arrivals_rate():
+    arrivals = PoissonArrivals(np.random.default_rng(3), rate_per_s=2.0)
+    times = arrivals.times_until(1000.0)
+    assert 1700 < len(times) < 2300
+    assert all(t1 < t2 for t1, t2 in zip(times, times[1:]))
+
+
+def test_poisson_validation():
+    with pytest.raises(ValueError):
+        PoissonArrivals(np.random.default_rng(0), rate_per_s=0.0)
+
+
+def test_bursty_arrivals_shape():
+    arrivals = BurstyArrivals(
+        np.random.default_rng(4), n=100, burst_fraction=0.8, burst_window=60.0
+    )
+    times = arrivals.times()
+    assert len(times) == 100
+    assert times == sorted(times)
+    in_burst = sum(1 for t in times if t <= 60.0)
+    assert in_burst >= 80
+
+
+def test_bursty_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        BurstyArrivals(rng, n=-1)
+    with pytest.raises(ValueError):
+        BurstyArrivals(rng, n=10, burst_fraction=1.5)
+
+
+@pytest.mark.parametrize(
+    "kind", ["lecture", "tutorial", "seminar", "group_project", "gamified_breakout"]
+)
+def test_standard_scripts_well_formed(kind):
+    script = standard_script(kind, duration_s=3600.0)
+    assert script.phases
+    if kind != "gamified_breakout":
+        assert script.total_duration == pytest.approx(3600.0)
+    for phase in script.phases:
+        assert phase.duration_s > 0
+
+
+def test_standard_script_unknown_kind():
+    with pytest.raises(KeyError):
+        standard_script("recess")
+
+
+def test_phase_at_lookup():
+    script = standard_script("seminar", duration_s=100.0)
+    assert script.phase_at(0.0).name == "talk"
+    assert script.phase_at(75.0).name == "discussion"
+    with pytest.raises(ValueError):
+        script.phase_at(1000.0)
+    with pytest.raises(ValueError):
+        script.phase_at(-1.0)
+
+
+def test_gamified_breakout_has_highest_interaction():
+    breakout = standard_script("gamified_breakout").mean_interaction_rate()
+    lecture = standard_script("lecture").mean_interaction_rate()
+    assert breakout > 3 * lecture
+
+
+def test_activity_phase_validation():
+    with pytest.raises(ValueError):
+        ActivityPhase("x", -1.0, 0.0, 0.5, 0.5)
+    with pytest.raises(ValueError):
+        ActivityPhase("x", 10.0, -1.0, 0.5, 0.5)
+    with pytest.raises(ValueError):
+        ActivityPhase("x", 10.0, 1.0, 1.5, 0.5)
+    with pytest.raises(ValueError):
+        ActivityPhase("x", 10.0, 1.0, 0.5, -0.5)
