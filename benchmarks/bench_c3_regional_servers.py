@@ -5,7 +5,17 @@
 milliseconds.  Most gaming platforms solve this issue by setting up
 regional servers."  Sweeps the number of regional servers for a worldwide
 population and reports the RTT distribution.
+
+Standalone usage::
+
+    PYTHONPATH=src python benchmarks/bench_c3_regional_servers.py [--quick]
 """
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct `python benchmarks/bench_*.py` run
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 
 import numpy as np
 
@@ -15,25 +25,29 @@ from repro.workload.population import sample_worldwide
 
 POPULATION = 1500
 KS = (1, 2, 4, 8)
+QUICK_POPULATION = 300
 
 
-def run_c3b():
-    population = sample_worldwide(POPULATION, np.random.default_rng(0))
+def run_c3b(population_size: int = POPULATION):
+    population = sample_worldwide(population_size, np.random.default_rng(0))
     plans = {"single (HK)": single_server_plan(population, "hkust_cwb")}
     for k in KS:
         plans[f"k={k}"] = plan_regions(population, k=k)
     return plans
 
 
-def test_c3b_regional_servers(benchmark):
-    plans = benchmark.pedantic(run_c3b, rounds=1, iterations=1)
-
-    header(f"C3b — Regional servers for {POPULATION} worldwide users")
+def report(plans, population_size):
+    header(f"C3b — Regional servers for {population_size} worldwide users")
     emit(f"{'placement':<12} {'mean RTT':>9} {'p95 RTT':>9} {'>100ms':>8}  sites")
     for label, plan in plans.items():
         emit(f"{label:<12} {plan.mean_rtt() * 1e3:>7.1f}ms "
              f"{plan.p95_rtt() * 1e3:>7.1f}ms "
              f"{plan.fraction_above(0.100):>8.1%}  {sorted(plan.sites)}")
+
+
+def test_c3b_regional_servers(benchmark):
+    plans = benchmark.pedantic(run_c3b, rounds=1, iterations=1)
+    report(plans, POPULATION)
 
     single = plans["single (HK)"]
     # The paper's premise: one server leaves a worldwide tail in the
@@ -45,3 +59,25 @@ def test_c3b_regional_servers(benchmark):
     assert all(a >= b - 1e-12 for a, b in zip(means, means[1:]))
     assert plans["k=8"].fraction_above(0.100) < 0.05
     assert plans["k=4"].p95_rtt() < single.p95_rtt() * 0.7
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke mode: smaller worldwide population",
+    )
+    parser.add_argument("--population", type=int, default=None)
+    args = parser.parse_args(argv)
+    population_size = args.population if args.population is not None else (
+        QUICK_POPULATION if args.quick else POPULATION
+    )
+    plans = run_c3b(population_size)
+    report(plans, population_size)
+    return plans
+
+
+if __name__ == "__main__":
+    main()

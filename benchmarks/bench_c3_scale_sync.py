@@ -4,12 +4,25 @@
 synchronization of a large number of entities within a single digital
 space."  Sweeps the class size and measures tick compute, achieved tick
 rate, and per-client downstream bandwidth — with interest management on
-(area-of-interest + nearest-k) vs off (broadcast).
+(spatial-grid area-of-interest + nearest-k) vs off (broadcast).
 
 Expected shape: broadcast bandwidth grows linearly with N per client
 (quadratic in total) while interest-managed bandwidth flattens at the
 nearest-k cap; the server's tick saturates without filtering first.
+
+Standalone usage (the grid-vs-naive *correctness* check lives in
+``tests/sync/test_interest_grid.py`` and runs in tier-1; this file is the
+performance sweep)::
+
+    PYTHONPATH=src python benchmarks/bench_c3_scale_sync.py          # full sweep
+    PYTHONPATH=src python benchmarks/bench_c3_scale_sync.py --quick  # smoke mode
 """
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct `python benchmarks/bench_*.py` run
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 
 from benchmarks.conftest import emit, header
 from repro.avatar.state import AvatarState
@@ -21,9 +34,13 @@ from repro.workload.traces import SeatedMotion
 
 SIZES = (10, 50, 150, 400)
 DURATION = 2.0
+# Smoke-mode sweep: small enough to finish in seconds, big enough to
+# exercise both interest modes end to end.
+QUICK_SIZES = (10, 50)
+QUICK_DURATION = 0.5
 
 
-def run_one(n: int, managed: bool):
+def run_one(n: int, managed: bool, duration: float = DURATION):
     sim = Simulator(seed=3)
     interest = (
         InterestManager(InterestConfig(radius_m=8.0, max_entities=30))
@@ -47,34 +64,42 @@ def run_one(n: int, managed: bool):
             yield sim.timeout(0.05)
 
     sim.process(driver())
-    server.run(duration=DURATION)
-    sim.run(until=DURATION)
+    server.run(duration=duration)
+    sim.run(until=duration)
     tick_cost = server.metrics.tracker("tick_cost").summary()
     return {
-        "tick_rate": server.achieved_tick_rate(DURATION),
+        "tick_rate": server.achieved_tick_rate(duration),
         "tick_cost_ms": tick_cost.mean * 1e3,
-        "egress_kbps": server.egress_bytes_per_client_s(DURATION) * 8 / 1e3,
+        "egress_kbps": server.egress_bytes_per_client_s(duration) * 8 / 1e3,
+        "pairs_scanned": server.metrics.counter("interest_pairs_scanned"),
     }
 
 
-def run_c3a():
+def run_c3a(sizes=SIZES, duration=DURATION):
     return {
-        (n, managed): run_one(n, managed)
-        for n in SIZES
+        (n, managed): run_one(n, managed, duration)
+        for n in sizes
         for managed in (False, True)
     }
 
 
-def test_c3a_scale_sync(benchmark):
-    results = benchmark.pedantic(run_c3a, rounds=1, iterations=1)
-
-    header("C3a — Sync scaling: broadcast vs interest management")
+def report(results, duration):
+    header("C3a — Sync scaling: broadcast vs grid interest management")
     emit(f"{'N':>5} {'mode':<10} {'tick Hz':>8} {'tick ms':>8} "
-         f"{'per-client kbps':>16}")
+         f"{'per-client kbps':>16} {'pairs/tick':>11}")
     for (n, managed), row in results.items():
         mode = "interest" if managed else "broadcast"
+        pairs = row["pairs_scanned"]
+        pairs_col = f"{pairs / max(1.0, row['tick_rate'] * duration):>11.0f}" \
+            if pairs else f"{'n/a':>11}"
         emit(f"{n:>5} {mode:<10} {row['tick_rate']:>8.1f} "
-             f"{row['tick_cost_ms']:>8.2f} {row['egress_kbps']:>16.1f}")
+             f"{row['tick_cost_ms']:>8.2f} {row['egress_kbps']:>16.1f} "
+             f"{pairs_col}")
+
+
+def test_c3a_scale_sync(benchmark):
+    results = benchmark.pedantic(run_c3a, rounds=1, iterations=1)
+    report(results, DURATION)
 
     # Broadcast per-client bandwidth keeps growing with N...
     broadcast = [results[(n, False)]["egress_kbps"] for n in SIZES]
@@ -85,3 +110,39 @@ def test_c3a_scale_sync(benchmark):
     # Tick cost grows with N in both modes.
     assert (results[(SIZES[-1], True)]["tick_cost_ms"]
             > results[(SIZES[0], True)]["tick_cost_ms"])
+    # The grid examines far fewer candidate pairs than the dense scan.
+    biggest = results[(SIZES[-1], True)]
+    total_ticks = biggest["tick_rate"] * DURATION
+    assert 0 < biggest["pairs_scanned"] < SIZES[-1] ** 2 * total_ticks
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke mode: small sizes, short duration (CI-friendly)",
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=None,
+        help="participant counts to sweep (overrides the default sweep)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None,
+        help="simulated seconds per configuration",
+    )
+    args = parser.parse_args(argv)
+    sizes = tuple(args.sizes) if args.sizes else (
+        QUICK_SIZES if args.quick else SIZES
+    )
+    duration = args.duration if args.duration is not None else (
+        QUICK_DURATION if args.quick else DURATION
+    )
+    results = run_c3a(sizes, duration)
+    report(results, duration)
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -104,10 +104,44 @@ class CloudClassroomServer:
         self.sync.world.apply(placed)
         self.edge_states_ingested += 1
 
+    # -- queries -------------------------------------------------------------
+
+    def visible_to(self, client_id: str):
+        """Entity ids the interest layer currently deems relevant.
+
+        Spectators with no embodied avatar yet are queried from their
+        assigned seat (or the room origin if they have none), matching the
+        sync server's per-tick behaviour.
+        """
+        positions = self.sync.world.positions()
+        subject = positions.get(client_id)
+        if subject is None:
+            subject = self._seat_offsets.get(client_id)
+        if subject is None:
+            subject = np.zeros(3)
+        return self.sync.interest.relevant(
+            client_id, np.asarray(subject, dtype=float), positions
+        )
+
     # -- lifecycle ------------------------------------------------------------
 
     def run(self, duration: float):
         return self.sync.run(duration)
+
+    # -- measurement ----------------------------------------------------------
+
+    @property
+    def metrics(self):
+        """The underlying sync server's metrics registry."""
+        return self.sync.metrics
+
+    def achieved_tick_rate(self, duration: Optional[float] = None) -> float:
+        """Ticks per second delivered during the current run window."""
+        return self.sync.achieved_tick_rate(duration)
+
+    def egress_bytes_per_client_s(self, duration: Optional[float] = None) -> float:
+        """Mean downstream bandwidth per subscriber (bytes/s), windowed."""
+        return self.sync.egress_bytes_per_client_s(duration)
 
     @property
     def world_size(self) -> int:

@@ -45,8 +45,23 @@ class MetricsRegistry:
     # -- export ------------------------------------------------------------
 
     def snapshot(self) -> Dict[str, float]:
-        """Flat dict of all counters and gauges (trackers excluded)."""
-        merged = dict(self._counters)
+        """Flat dict of all counters, gauges, and tracker summaries.
+
+        Every metric kind carries its own namespace prefix (``counter:``,
+        ``gauge:``, ``tracker:``) so a counter literally named ``gauge:x``
+        can never collide with gauge ``x`` in the export.  Trackers with at
+        least one sample export their count, mean, and p95.
+        """
+        merged: Dict[str, float] = {}
+        for name, value in self._counters.items():
+            merged[f"counter:{name}"] = value
         for name, value in self._gauges.items():
             merged[f"gauge:{name}"] = value
+        for name, tracker in self._trackers.items():
+            if len(tracker) == 0:
+                continue
+            summary = tracker.summary()
+            merged[f"tracker:{name}:count"] = float(summary.count)
+            merged[f"tracker:{name}:mean"] = summary.mean
+            merged[f"tracker:{name}:p95"] = summary.p95
         return merged

@@ -12,7 +12,13 @@ the scaling experiments (C3a) measure.
 from repro.sync.client import SyncClient
 from repro.sync.consistency import ConsistencyProbe
 from repro.sync.delta import DeltaEncoder, WorldState
-from repro.sync.interest import InterestConfig, InterestManager
+from repro.sync.interest import (
+    BroadcastInterest,
+    InterestConfig,
+    InterestManager,
+    SpatialHashGrid,
+    naive_relevant,
+)
 from repro.sync.migration import MigratableClient
 from repro.sync.prediction import MoveInput, PredictedAvatar
 from repro.sync.protocol import ClientUpdate, ServerSnapshot
@@ -20,6 +26,7 @@ from repro.sync.server import ServerCostModel, SyncServer
 from repro.sync.timesync import NtpSynchronizer
 
 __all__ = [
+    "BroadcastInterest",
     "ClientUpdate",
     "MigratableClient",
     "MoveInput",
@@ -30,6 +37,8 @@ __all__ = [
     "InterestManager",
     "NtpSynchronizer",
     "ServerCostModel",
+    "SpatialHashGrid",
+    "naive_relevant",
     "ServerSnapshot",
     "SyncClient",
     "SyncServer",

@@ -69,10 +69,17 @@ class DeltaEncoder:
         for entity_id in relevant:
             state = world.entities.get(entity_id)
             if state is None:
+                # Deleted from the world while still in the relevant set:
+                # handled below as a removal so the subscriber's replica
+                # does not keep a ghost of it.
                 continue
             if force_full or seen.get(entity_id, -1) < state.seq:
                 states.append(state)
-        removed = [entity_id for entity_id in seen if entity_id not in relevant]
+        removed = [
+            entity_id
+            for entity_id in seen
+            if entity_id not in relevant or entity_id not in world.entities
+        ]
         # Update bookkeeping.
         for state in states:
             seen[state.participant_id] = state.seq

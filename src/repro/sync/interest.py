@@ -5,14 +5,33 @@ quadratic in bandwidth.  Relevance here combines the classic area-of-
 interest radius with a nearest-k cap and an always-relevant set (the
 instructor, active speakers) — the scheme the C3a experiment ablates
 against full broadcast.
+
+The query side is backed by a uniform spatial hash grid
+(:class:`SpatialHashGrid`) with cell size equal to the interest radius,
+so a radius query only examines the 3x3x3 block of cells around the
+subject instead of every entity in the world.  The batch entry point
+:meth:`InterestManager.relevant_batch` builds the grid once per tick
+from stacked positions and answers every subscriber against it;
+:meth:`InterestManager.relevant` stays as a thin single-subject wrapper
+so existing callers (and :class:`BroadcastInterest`) remain
+source-compatible.  :func:`naive_relevant` keeps the original O(N)
+linear scan as the reference oracle the equivalence tests check the
+grid against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from itertools import product
+from typing import Dict, Iterable, List, Mapping, Optional, Set
 
 import numpy as np
+
+_EMPTY_INDICES = np.empty(0, dtype=np.int64)
+
+#: Offsets of the 3x3x3 neighbourhood; with ``cell_size >= radius`` every
+#: entity within the radius of a query point lives in one of these cells.
+_NEIGHBOUR_OFFSETS = tuple(product((-1, 0, 1), repeat=3))
 
 
 @dataclass(frozen=True)
@@ -30,51 +49,214 @@ class InterestConfig:
             raise ValueError("max_entities must be >= 1")
 
 
+def naive_relevant(
+    config: InterestConfig,
+    subject_id: str,
+    subject_position: np.ndarray,
+    positions: Mapping[str, np.ndarray],
+) -> Set[str]:
+    """Reference O(N) linear scan over every entity.
+
+    This is the original (pre-grid) relevance computation, kept as the
+    oracle for the grid/naive equivalence property tests and for
+    documentation of the policy: always-relevant ids are unconditionally
+    included and do not count against the nearest-k cap; the subject
+    itself is excluded; ties at equal distance break lexicographically
+    by entity id.
+    """
+    subject_position = np.asarray(subject_position, dtype=float)
+    always = {
+        entity_id
+        for entity_id in config.always_relevant
+        if entity_id in positions and entity_id != subject_id
+    }
+    candidates: List[tuple] = []
+    for entity_id, position in positions.items():
+        if entity_id == subject_id or entity_id in always:
+            continue
+        distance = float(np.linalg.norm(np.asarray(position, dtype=float)
+                                        - subject_position))
+        if distance <= config.radius_m:
+            candidates.append((distance, entity_id))
+    candidates.sort()
+    nearest = {entity_id for _d, entity_id in candidates[: config.max_entities]}
+    return always | nearest
+
+
+class SpatialHashGrid:
+    """Uniform spatial hash over a fixed set of entity positions.
+
+    Entities are bucketed into cubic cells of ``cell_size`` metres keyed
+    by their floored integer coordinates.  Built once per tick from the
+    stacked (N, 3) position array; a query gathers the candidate index
+    arrays of the 27 cells around a point, which is exhaustive for any
+    radius <= ``cell_size``.
+    """
+
+    def __init__(self, ids: List[str], points: np.ndarray, cell_size: float):
+        if cell_size <= 0:
+            raise ValueError("cell size must be positive")
+        self.ids = ids
+        self.points = points
+        self.cell_size = cell_size
+        self._cells: Dict[tuple, np.ndarray] = {}
+        if len(ids):
+            cells = np.floor(points / cell_size).astype(np.int64)
+            order = np.lexsort((cells[:, 2], cells[:, 1], cells[:, 0]))
+            sorted_cells = cells[order]
+            change = np.nonzero(
+                np.any(sorted_cells[1:] != sorted_cells[:-1], axis=1)
+            )[0] + 1
+            starts = np.concatenate(([0], change))
+            ends = np.concatenate((change, [len(order)]))
+            keys = sorted_cells[starts].tolist()
+            self._cells = {
+                tuple(key): order[s:e]
+                for key, s, e in zip(keys, starts, ends)
+            }
+
+    @classmethod
+    def from_positions(
+        cls, positions: Mapping[str, np.ndarray], cell_size: float
+    ) -> "SpatialHashGrid":
+        """Stack a ``{id: (3,) position}`` mapping into a grid."""
+        ids = list(positions)
+        if ids:
+            points = np.array([positions[i] for i in ids], dtype=float)
+        else:
+            points = np.empty((0, 3), dtype=float)
+        return cls(ids, points, cell_size)
+
+    @property
+    def n_cells(self) -> int:
+        return len(self._cells)
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def candidate_indices(self, point: np.ndarray) -> np.ndarray:
+        """Indices of entities in the 3x3x3 cell block around ``point``."""
+        if not self._cells:
+            return _EMPTY_INDICES
+        base = np.floor(np.asarray(point, dtype=float) / self.cell_size)
+        cx, cy, cz = int(base[0]), int(base[1]), int(base[2])
+        chunks = []
+        for dx, dy, dz in _NEIGHBOUR_OFFSETS:
+            bucket = self._cells.get((cx + dx, cy + dy, cz + dz))
+            if bucket is not None:
+                chunks.append(bucket)
+        if not chunks:
+            return _EMPTY_INDICES
+        if len(chunks) == 1:
+            return chunks[0]
+        return np.concatenate(chunks)
+
+
 class InterestManager:
-    """Computes each subscriber's relevant entity set."""
+    """Computes each subscriber's relevant entity set via a spatial grid."""
 
     def __init__(self, config: InterestConfig = InterestConfig()):
         self.config = config
+        #: Candidate (subscriber, entity) pairs examined by the most recent
+        #: query; the server's cost model charges ``per_entity_scan`` for
+        #: each, so modeled tick cost tracks actual grid work, not N x N.
+        self.last_pairs_scanned = 0
+
+    # -- queries -----------------------------------------------------------
 
     def relevant(
         self,
         subject_id: str,
         subject_position: np.ndarray,
-        positions: Dict[str, np.ndarray],
+        positions: Mapping[str, np.ndarray],
     ) -> Set[str]:
         """Entity ids relevant to ``subject_id``.
 
         Always-relevant ids are unconditionally included and do not count
-        against the nearest-k cap; the subject itself is excluded.
+        against the nearest-k cap; the subject itself is excluded.  Thin
+        single-subject wrapper over :meth:`relevant_batch`.
         """
-        always = {
+        batch = self.relevant_batch(
+            positions, {subject_id: np.asarray(subject_position, dtype=float)}
+        )
+        return batch[subject_id]
+
+    def relevant_batch(
+        self,
+        positions: Mapping[str, np.ndarray],
+        subjects: Optional[Mapping[str, np.ndarray]] = None,
+    ) -> Dict[str, Set[str]]:
+        """Relevant sets for many subjects against one grid build.
+
+        ``positions`` maps entity id to (3,) position; ``subjects`` maps
+        each query subject to its query point (defaulting to ``positions``
+        itself, i.e. every entity queries from where it stands — subjects
+        need not be entities, e.g. disembodied spectators).  The grid is
+        built once; each subject then scans only the candidate cells
+        around it.  Results are identical to :func:`naive_relevant`.
+        """
+        if subjects is None:
+            subjects = positions
+        grid = SpatialHashGrid.from_positions(positions, self.config.radius_m)
+        always_pool = [
             entity_id
             for entity_id in self.config.always_relevant
-            if entity_id in positions and entity_id != subject_id
-        }
-        candidates: List[tuple] = []
-        for entity_id, position in positions.items():
-            if entity_id == subject_id or entity_id in always:
+            if entity_id in positions
+        ]
+        pairs_scanned = 0
+        results: Dict[str, Set[str]] = {}
+        for subject_id, point in subjects.items():
+            point = np.asarray(point, dtype=float)
+            always = {e for e in always_pool if e != subject_id}
+            candidates = grid.candidate_indices(point)
+            pairs_scanned += len(candidates)
+            if len(candidates) == 0:
+                results[subject_id] = always
                 continue
-            distance = float(np.linalg.norm(np.asarray(position) - subject_position))
-            if distance <= self.config.radius_m:
-                candidates.append((distance, entity_id))
-        candidates.sort()
-        nearest = {entity_id for _d, entity_id in candidates[: self.config.max_entities]}
-        return always | nearest
+            distances = np.linalg.norm(grid.points[candidates] - point, axis=1)
+            within = distances <= self.config.radius_m
+            ranked: List[tuple] = []
+            for distance, index in zip(
+                distances[within].tolist(), candidates[within].tolist()
+            ):
+                entity_id = grid.ids[index]
+                if entity_id == subject_id or entity_id in always:
+                    continue
+                ranked.append((distance, entity_id))
+            ranked.sort()
+            nearest = {e for _d, e in ranked[: self.config.max_entities]}
+            results[subject_id] = always | nearest
+        self.last_pairs_scanned = pairs_scanned
+        return results
 
     def relevance_matrix(
-        self, positions: Dict[str, np.ndarray]
+        self, positions: Mapping[str, np.ndarray]
     ) -> Dict[str, Set[str]]:
-        """Relevant sets for every entity at once."""
-        return {
-            subject_id: self.relevant(subject_id, np.asarray(position), positions)
-            for subject_id, position in positions.items()
-        }
+        """Relevant sets for every entity at once (one grid build)."""
+        return self.relevant_batch(positions)
 
 
 class BroadcastInterest:
     """The no-filtering baseline: everyone is relevant to everyone."""
 
+    def __init__(self):
+        self.last_pairs_scanned = 0
+
     def relevant(self, subject_id, subject_position, positions) -> Set[str]:
+        """All entity ids except the subject itself."""
         return {entity_id for entity_id in positions if entity_id != subject_id}
+
+    def relevant_batch(
+        self,
+        positions: Mapping[str, np.ndarray],
+        subjects: Optional[Iterable[str]] = None,
+    ) -> Dict[str, Set[str]]:
+        """Every subject sees every entity; scans all N x M pairs."""
+        if subjects is None:
+            subjects = positions
+        everyone = set(positions)
+        results = {
+            subject_id: everyone - {subject_id} for subject_id in subjects
+        }
+        self.last_pairs_scanned = len(results) * len(everyone)
+        return results

@@ -20,8 +20,14 @@ class ServerCostModel:
 
     ``base`` covers fixed tick overhead; ``per_update`` the cost of
     ingesting one client update; ``per_entity_scan`` the interest query per
-    (subscriber, entity) pair examined; ``per_state_sent`` serialization of
-    one entity into one snapshot.
+    (subscriber, entity) candidate pair actually examined; ``per_state_sent``
+    serialization of one entity into one snapshot.
+
+    With grid-backed interest management the number of pairs examined is
+    far below the full ``n_subscribers * n_entities`` cross product, so
+    :meth:`tick_cost` accepts the measured ``pairs_scanned`` and falls back
+    to the dense cross product only when the interest implementation does
+    not report one (e.g. broadcast).
     """
 
     base: float = 0.0002
@@ -30,11 +36,13 @@ class ServerCostModel:
     per_state_sent: float = 5e-7
 
     def tick_cost(self, n_updates: int, n_subscribers: int, n_entities: int,
-                  n_states_sent: int) -> float:
+                  n_states_sent: int, pairs_scanned: Optional[int] = None) -> float:
+        if pairs_scanned is None:
+            pairs_scanned = n_subscribers * n_entities
         return (
             self.base
             + self.per_update * n_updates
-            + self.per_entity_scan * n_subscribers * n_entities
+            + self.per_entity_scan * pairs_scanned
             + self.per_state_sent * n_states_sent
         )
 
@@ -44,10 +52,11 @@ class SyncServer:
 
     Clients deposit :class:`~repro.sync.protocol.ClientUpdate` messages via
     :meth:`ingest` (normally called by a network delivery callback).  Every
-    tick the server applies pending updates, computes each subscriber's
-    relevant set, delta-encodes against what that subscriber last saw, and
-    hands the snapshot to the subscriber's ``send`` callback (which routes
-    it back through the network).
+    tick the server applies pending updates, computes all subscribers'
+    relevant sets in one batch interest query (one spatial-grid build over
+    one ``world.positions()`` materialization), delta-encodes against what
+    each subscriber last saw, and hands the snapshot to the subscriber's
+    ``send`` callback (which routes it back through the network).
 
     If a tick's modeled compute cost exceeds the tick period, subsequent
     ticks are delayed — the server saturates instead of teleporting, which
@@ -78,6 +87,11 @@ class SyncServer:
         self._pending: list = []
         self.tick_count = 0
         self._running = False
+        # Measurement window of the current/most recent run() call.
+        self._window_start_time = 0.0
+        self._window_end_time: Optional[float] = None
+        self._window_start_ticks = 0
+        self._window_start_bytes = 0.0
 
     # -- membership --------------------------------------------------------
 
@@ -100,20 +114,40 @@ class SyncServer:
         """Receive one client update (applied on the next tick)."""
         self._pending.append(update)
 
+    def _relevant_sets(self, positions: Dict[str, np.ndarray]) -> tuple:
+        """All subscribers' relevant sets plus the pairs-scanned count.
+
+        Uses the interest implementation's batch API when available (one
+        grid build per tick); falls back to per-subscriber ``relevant()``
+        calls for custom interest objects that only implement the
+        single-subject protocol, in which case the pair count is unknown
+        and the cost model assumes a dense scan.
+        """
+        subjects = {
+            client_id: positions.get(client_id, _ORIGIN)
+            for client_id in self._subscribers
+        }
+        batch = getattr(self.interest, "relevant_batch", None)
+        if batch is not None:
+            relevant_sets = batch(positions, subjects)
+            pairs = getattr(self.interest, "last_pairs_scanned", None)
+            return relevant_sets, pairs
+        relevant_sets = {
+            client_id: self.interest.relevant(client_id, point, positions)
+            for client_id, point in subjects.items()
+        }
+        return relevant_sets, None
+
     def _do_tick(self) -> float:
         """Run one tick; returns its modeled compute cost."""
         updates, self._pending = self._pending, []
         for update in updates:
             self.world.apply(update.state)
         positions = self.world.positions()
+        relevant_sets, pairs_scanned = self._relevant_sets(positions)
         states_sent = 0
         for client_id, send in self._subscribers.items():
-            subject_position = positions.get(client_id)
-            if subject_position is None:
-                # Spectator with no embodied avatar yet: treat them as
-                # sitting at the room origin (VR classroom centre).
-                subject_position = np.zeros(3)
-            relevant = self.interest.relevant(client_id, subject_position, positions)
+            relevant = relevant_sets[client_id]
             states, removed, full = self.encoder.encode(client_id, self.world, relevant)
             if not states and not removed:
                 continue
@@ -129,39 +163,88 @@ class SyncServer:
             self.metrics.incr("snapshots_sent")
             send(snapshot)
         cost = self.cost_model.tick_cost(
-            len(updates), len(self._subscribers), len(self.world), states_sent
+            len(updates), len(self._subscribers), len(self.world), states_sent,
+            pairs_scanned=pairs_scanned,
         )
         self.metrics.tracker("tick_cost").record(cost)
         self.metrics.incr("updates_ingested", len(updates))
+        if pairs_scanned is not None:
+            self.metrics.incr("interest_pairs_scanned", pairs_scanned)
         self.tick_count += 1
         return cost
 
     def run(self, duration: float):
-        """A simkit process ticking for ``duration`` seconds."""
+        """A simkit process ticking for ``duration`` seconds.
+
+        Starts a fresh measurement window (see :meth:`achieved_tick_rate`).
+        The running flag is released even if the tick process fails or is
+        interrupted, so a subsequent ``run()`` can retry.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
         if self._running:
             raise RuntimeError("server already running")
         self._running = True
+        self._window_start_time = self.sim.now
+        self._window_end_time = None
+        self._window_start_ticks = self.tick_count
+        self._window_start_bytes = self.metrics.counter("snapshot_bytes")
 
         def body():
-            end = self.sim.now + duration
-            while self.sim.now < end - 1e-12:
-                cost = self._do_tick()
-                # An overloaded server stretches its tick interval.
-                yield self.sim.timeout(max(self.tick_period, cost))
-            self._running = False
+            try:
+                end = self.sim.now + duration
+                while self.sim.now < end - 1e-12:
+                    cost = self._do_tick()
+                    # An overloaded server stretches its tick interval.  The
+                    # last sleep is clamped to the horizon: accumulated float
+                    # error would otherwise park the final wake an ulp past
+                    # ``end``, leaving the process (and the running flag)
+                    # alive after ``sim.run(until=end)`` returns.
+                    delay = max(self.tick_period, cost)
+                    if self.sim.now + delay > end:
+                        delay = max(0.0, end - self.sim.now)
+                    yield self.sim.timeout(delay)
+            finally:
+                self._running = False
+                self._window_end_time = self.sim.now
 
         return self.sim.process(body())
 
     # -- measurement ----------------------------------------------------------
 
-    def achieved_tick_rate(self, duration: float) -> float:
-        """Ticks per second actually delivered over ``duration``."""
-        if duration <= 0:
-            raise ValueError("duration must be positive")
-        return self.tick_count / duration
+    def _window_elapsed(self, duration: Optional[float]) -> float:
+        """Measurement span: explicit ``duration`` or the run window."""
+        if duration is not None:
+            if duration <= 0:
+                raise ValueError("duration must be positive")
+            return duration
+        end = self._window_end_time
+        if end is None:
+            end = self.sim.now
+        elapsed = end - self._window_start_time
+        if elapsed <= 0:
+            raise ValueError("no elapsed run window to measure")
+        return elapsed
 
-    def egress_bytes_per_client_s(self, duration: float) -> float:
-        """Mean downstream bandwidth per subscriber (bytes/s)."""
-        if not self._subscribers or duration <= 0:
+    def achieved_tick_rate(self, duration: Optional[float] = None) -> float:
+        """Ticks per second delivered during the current run window.
+
+        Counters are windowed per ``run()`` call, so back-to-back runs each
+        report their own rate instead of dividing lifetime totals by the
+        latest duration.  ``duration`` overrides the measured window span
+        (it must then match the window the caller has in mind).
+        """
+        return (self.tick_count - self._window_start_ticks) / \
+            self._window_elapsed(duration)
+
+    def egress_bytes_per_client_s(self, duration: Optional[float] = None) -> float:
+        """Mean downstream bandwidth per subscriber (bytes/s), windowed."""
+        if not self._subscribers:
             return 0.0
-        return self.metrics.counter("snapshot_bytes") / len(self._subscribers) / duration
+        if duration is not None and duration <= 0:
+            return 0.0
+        sent = self.metrics.counter("snapshot_bytes") - self._window_start_bytes
+        return sent / len(self._subscribers) / self._window_elapsed(duration)
+
+
+_ORIGIN = np.zeros(3)

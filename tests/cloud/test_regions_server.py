@@ -104,6 +104,42 @@ def test_cloud_server_ingests_edge_states():
     assert cloud.layout.seated_count == 1
 
 
+def test_cloud_server_visible_to_uses_interest_layer():
+    from repro.avatar.state import AvatarState
+    from repro.sensing.pose import Pose
+    from repro.sync.interest import InterestConfig, InterestManager
+
+    sim = Simulator(seed=8)
+    cloud = CloudClassroomServer(
+        sim, interest=InterestManager(InterestConfig(radius_m=3.0, max_entities=10))
+    )
+    # Two edge avatars: one near the origin, one far across the room.
+    cloud.ingest_edge_state(AvatarState("near", sim.now, Pose()))
+    cloud.ingest_edge_state(
+        AvatarState("far", sim.now, Pose(np.array([500.0, 0.0, 0.0])))
+    )
+    seat = cloud.connect("remote", lambda s: None)
+    visible = cloud.visible_to("remote")
+    near_seat = cloud.sync.world.positions()["near"]
+    # Whichever avatars sit within 3 m of the remote user's seat are
+    # visible; the 500 m-away one never is.
+    assert "far" not in visible
+    expected_near = np.linalg.norm(near_seat - seat.position) <= 3.0
+    assert ("near" in visible) == expected_near
+
+
+def test_cloud_server_measurement_passthrough():
+    sim = Simulator(seed=9)
+    cloud = CloudClassroomServer(sim, tick_rate_hz=20.0)
+    cloud.connect("solo", lambda s: None)
+    cloud.run(duration=2.0)
+    sim.run(until=2.0)
+    assert cloud.achieved_tick_rate() == pytest.approx(20.0, rel=0.1)
+    assert cloud.achieved_tick_rate(2.0) == cloud.sync.achieved_tick_rate(2.0)
+    assert cloud.egress_bytes_per_client_s() >= 0.0
+    assert cloud.metrics is cloud.sync.metrics
+
+
 def test_cloud_server_disconnect_cleans_up():
     sim = Simulator(seed=7)
     cloud = CloudClassroomServer(sim)

@@ -110,5 +110,23 @@ def test_metrics_registry():
     assert registry.gauge("load") == 0.7
     with pytest.raises(KeyError):
         registry.gauge("missing")
-    assert registry.snapshot() == {"packets": 3, "gauge:load": 0.7}
+    assert registry.snapshot() == {
+        "counter:packets": 3,
+        "gauge:load": 0.7,
+        "tracker:rtt:count": 1.0,
+        "tracker:rtt:mean": 0.1,
+        "tracker:rtt:p95": 0.1,
+    }
     assert len(registry.tracker("rtt")) == 1
+
+
+def test_metrics_snapshot_namespaces_prevent_collisions():
+    registry = MetricsRegistry()
+    registry.incr("gauge:x", 5)      # a counter whose *name* is "gauge:x"
+    registry.set_gauge("x", 1.0)
+    snapshot = registry.snapshot()
+    assert snapshot["counter:gauge:x"] == 5
+    assert snapshot["gauge:x"] == 1.0
+    # An empty tracker stays out of the export until it has samples.
+    registry.tracker("idle")
+    assert "tracker:idle:count" not in registry.snapshot()

@@ -144,6 +144,38 @@ def test_delta_keyframe_interval_forces_full():
     assert not all(fulls)
 
 
+def test_delta_world_deleted_entity_emits_removal():
+    # An entity deleted from the world while still in the relevant set
+    # must be announced as removed, not silently skipped leaving a ghost.
+    world = WorldState()
+    world.apply(make_state("a", 0))
+    world.apply(make_state("b", 0))
+    encoder = DeltaEncoder(keyframe_interval=1000)
+    encoder.encode("sub", world, {"a", "b"})
+    world.remove("b")
+    states, removed, _full = encoder.encode("sub", world, {"a", "b"})
+    assert removed == ["b"]
+    assert states == []
+    assert encoder.acked_seq("sub", "b") is None
+    # Re-appearing later is a fresh (full) send, not a stale suppression.
+    world.apply(make_state("b", 5))
+    states, removed, _full = encoder.encode("sub", world, {"a", "b"})
+    assert [s.participant_id for s in states] == ["b"]
+    assert removed == []
+
+
+def test_delta_never_seen_missing_entity_not_removed():
+    # A relevant id that is missing from the world and was never sent to
+    # the subscriber produces no spurious removal.
+    world = WorldState()
+    world.apply(make_state("a", 0))
+    encoder = DeltaEncoder(keyframe_interval=1000)
+    encoder.encode("sub", world, {"a"})
+    states, removed, _full = encoder.encode("sub", world, {"a", "phantom"})
+    assert removed == []
+    assert states == []
+
+
 def test_delta_forget_subscriber():
     world = WorldState()
     world.apply(make_state("a", 0))

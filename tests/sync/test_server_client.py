@@ -156,6 +156,103 @@ def test_server_validation():
         server.achieved_tick_rate(0.0)
 
 
+def test_server_rejects_nonpositive_duration():
+    sim = Simulator()
+    server = SyncServer(sim)
+    with pytest.raises(ValueError):
+        server.run(duration=0.0)
+    with pytest.raises(ValueError):
+        server.run(duration=-1.0)
+    # A rejected run must not leave the server flagged as running.
+    server.run(duration=1.0)
+
+
+def test_server_running_flag_resets_after_failed_tick():
+    sim = Simulator(seed=11)
+    server = SyncServer(sim, tick_rate_hz=20.0)
+
+    from repro.avatar.state import AvatarState
+    from repro.sensing.pose import Pose
+
+    def exploding_send(snapshot):
+        raise RuntimeError("subscriber send blew up")
+
+    server.subscribe("bad", exploding_send)
+    # Another avatar near the origin so "bad" has something to receive.
+    server.world.apply(AvatarState("other", 0.0, Pose(np.array([0.0, 1.0, 0.0]))))
+    server.run(duration=2.0)
+    with pytest.raises(RuntimeError, match="blew up"):
+        sim.run()
+    # The failed tick process released the flag, so a retry is possible.
+    server.unsubscribe("bad")
+    server.run(duration=1.0)
+    sim.run()
+    assert server.tick_count > 0
+
+
+def test_server_running_flag_resets_after_interrupt():
+    sim = Simulator(seed=12)
+    server = SyncServer(sim, tick_rate_hz=20.0)
+    proc = server.run(duration=10.0)
+
+    def stop():
+        proc.interrupt("migration")
+        proc.defused = True
+
+    sim.call_later(1.0, stop)
+    sim.run(until=2.0)
+    assert not proc.is_alive
+    server.run(duration=1.0)  # retry does not raise "already running"
+    sim.run()
+
+
+def test_measurement_windows_reset_between_runs():
+    sim = Simulator(seed=13)
+    server = SyncServer(sim, tick_rate_hz=20.0)
+    clients = wire_clients(sim, server, 2)
+    for client, _trace in clients:
+        client.run(duration=7.0)
+
+    # duration=2.0 is the float-accumulation edge: 40 ticks of 0.05 s sum
+    # to 2.000000000000001, so without the final-sleep clamp the first run
+    # process outlives `sim.run(until=2.0)` and the second run() raises.
+    server.run(duration=2.0)
+    sim.run(until=2.0)
+    first_rate = server.achieved_tick_rate()
+    first_ticks = server.tick_count
+    first_egress = server.egress_bytes_per_client_s()
+    assert first_rate == pytest.approx(20.0, rel=0.1)
+    assert first_egress > 0
+
+    server.run(duration=2.0)
+    sim.run(until=4.0)
+    # The second window reports only its own ticks/bytes: dividing the
+    # lifetime counter by one window's duration would double the rate.
+    second_rate = server.achieved_tick_rate()
+    assert server.tick_count > first_ticks
+    assert second_rate == pytest.approx(20.0, rel=0.1)
+    assert server.achieved_tick_rate(2.0) == pytest.approx(second_rate, rel=0.05)
+    assert server.egress_bytes_per_client_s() < 1.5 * first_egress
+
+
+def test_custom_single_subject_interest_still_supported():
+    class OnlyC1:
+        """A legacy interest object without the batch API."""
+
+        def relevant(self, subject_id, subject_position, positions):
+            return {e for e in positions if e == "c1" and e != subject_id}
+
+    sim = Simulator(seed=14)
+    server = SyncServer(sim, tick_rate_hz=20.0, interest=OnlyC1())
+    clients = wire_clients(sim, server, 3)
+    server.run(duration=3.0)
+    for client, _trace in clients:
+        client.run(duration=3.0)
+    sim.run()
+    c0 = clients[0][0]
+    assert c0.known_entities == ["c1"]
+
+
 def test_client_requires_local_pose():
     sim = Simulator()
     client = SyncClient(sim, "x", transmit=lambda u: None)
