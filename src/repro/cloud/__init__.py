@@ -8,7 +8,12 @@ k-median placement over the remote population's geography.
 """
 
 from repro.cloud.layout import VRClassroomLayout
-from repro.cloud.regions import RegionalPlan, plan_regions
+from repro.cloud.regions import (
+    RegionalPlan,
+    plan_regions,
+    reassign_after_outage,
+    single_server_plan,
+)
 from repro.cloud.scaling import ShardPlanner
 from repro.cloud.server import CloudClassroomServer
 
@@ -18,4 +23,6 @@ __all__ = [
     "ShardPlanner",
     "VRClassroomLayout",
     "plan_regions",
+    "reassign_after_outage",
+    "single_server_plan",
 ]

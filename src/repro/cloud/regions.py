@@ -58,6 +58,7 @@ def plan_regions(
     k: int,
     model: Optional[WanLatencyModel] = None,
     candidates: Sequence[str] = DEFAULT_CANDIDATE_SITES,
+    exclude: Sequence[str] = (),
 ) -> RegionalPlan:
     """Greedy k-median placement of ``k`` regional servers.
 
@@ -65,6 +66,10 @@ def plan_regions(
     total RTT — the standard greedy approximation (1 - 1/e of optimal for
     this submodular objective), plenty for the experiment's purpose.
     Users are then assigned to their closest chosen site.
+
+    ``exclude`` removes sites from candidacy — the re-plan path after a
+    regional outage plans around the dead site without touching the
+    candidate catalogue.
     """
     if k < 1:
         raise ValueError("k must be >= 1")
@@ -72,7 +77,10 @@ def plan_regions(
         raise ValueError("population is empty")
     if model is None:
         model = WanLatencyModel()
-    candidates = list(candidates)
+    excluded = set(exclude)
+    candidates = [site for site in candidates if site not in excluded]
+    if not candidates:
+        raise ValueError("every candidate site is excluded")
     if k > len(candidates):
         raise ValueError(f"k={k} exceeds the {len(candidates)} candidate sites")
 
@@ -109,6 +117,41 @@ def plan_regions(
         plan.assignment[user.user_id] = site
         plan.rtts[user.user_id] = rtt[(user.user_id, site)]
     return plan
+
+
+def reassign_after_outage(
+    plan: RegionalPlan,
+    dead_site: str,
+    population: RemotePopulation,
+    model: Optional[WanLatencyModel] = None,
+) -> RegionalPlan:
+    """Fast failover assignment when ``dead_site`` drops out of ``plan``.
+
+    Users on surviving sites keep their assignment (and RTT) untouched —
+    failover must not churn healthy sessions — while the dead site's users
+    are reassigned to their nearest surviving site.  For a from-scratch
+    placement that avoids the dead site, call :func:`plan_regions` with
+    ``exclude=(dead_site,)`` instead.
+    """
+    if dead_site not in plan.sites:
+        raise ValueError(f"{dead_site!r} is not in the plan")
+    survivors = [site for site in plan.sites if site != dead_site]
+    if not survivors:
+        raise ValueError("no surviving site to fail over to")
+    if model is None:
+        model = WanLatencyModel()
+    users = {user.user_id: user for user in population.users}
+    new_plan = RegionalPlan(sites=survivors)
+    for user_id, site in plan.assignment.items():
+        if site != dead_site:
+            new_plan.assignment[user_id] = site
+            new_plan.rtts[user_id] = plan.rtts[user_id]
+            continue
+        user = users[user_id]
+        best = min(survivors, key=lambda s: _user_site_rtt(user, s, model))
+        new_plan.assignment[user_id] = best
+        new_plan.rtts[user_id] = _user_site_rtt(user, best, model)
+    return new_plan
 
 
 def single_server_plan(

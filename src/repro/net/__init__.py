@@ -6,10 +6,23 @@ and to the cloud.  This package simulates those paths with store-and-forward
 queued links, a geographic propagation-delay model (fiber speed + route
 stretch + peering penalties), an 802.11-style contention model, reliable and
 unreliable transports, and application-level block FEC as used by the
-Nebula-style video experiments.
+Nebula-style video experiments.  :mod:`repro.net.faults` adds
+deterministic fault injection on top — scheduled link outages,
+Gilbert–Elliott burst loss, latency-spike windows and server
+crash/restart schedules — for the robustness experiments.
 """
 
 from repro.net.bandwidth import TokenBucket
+from repro.net.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultLog,
+    GilbertElliottLoss,
+    JitterSpikeSchedule,
+    LinkOutageSchedule,
+    ServerCrashSchedule,
+    SpikeWindow,
+)
 from repro.net.fec import BlockCode, FecDecoder, FecEncoder
 from repro.net.geo import GeoPoint, WORLD_CITIES, haversine_km
 from repro.net.latency import WanLatencyModel
@@ -24,9 +37,17 @@ from repro.net.wifi import WifiNetwork
 __all__ = [
     "BlockCode",
     "DatagramChannel",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultLog",
     "FecDecoder",
     "FecEncoder",
     "GeoPoint",
+    "GilbertElliottLoss",
+    "JitterSpikeSchedule",
+    "LinkOutageSchedule",
+    "ServerCrashSchedule",
+    "SpikeWindow",
     "Link",
     "LinkStats",
     "Node",

@@ -106,21 +106,65 @@ class FecDecoder:
     lands.  Recovery of payloads is possible because the encoder keeps the
     generation's source payloads (standing in for the algebra a real RS
     decoder performs).
+
+    Memory is bounded: only the ``horizon`` most recent generations stay
+    resident.  Once a newer generation's packet advances the high-water
+    mark, everything older than ``highest - horizon + 1`` is retired —
+    its bookkeeping freed, its packets thereafter discarded as late
+    (``late_discarded``).  Delivery counters survive retirement, and a
+    completed generation's recovery payloads are freed immediately since
+    nothing is left to rebuild.  A lecture-length session therefore holds
+    a constant number of generations instead of one per block ever sent.
     """
 
-    def __init__(self, code: BlockCode, on_deliver: Callable[[Any], None]):
+    def __init__(
+        self,
+        code: BlockCode,
+        on_deliver: Callable[[Any], None],
+        horizon: int = 64,
+    ):
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
         self.code = code
         self.on_deliver = on_deliver
+        self.horizon = horizon
         self._generations: Dict[int, _Generation] = {}
         self._source_payloads: Dict[int, Dict[int, Any]] = {}
+        self._watermark = 0  # lowest generation still resident
+        self._highest = -1
         self.delivered_direct = 0
         self.delivered_recovered = 0
+        self.generations_retired = 0
+        self.late_discarded = 0
+
+    @property
+    def resident_generations(self) -> int:
+        """Generations currently held in memory (bounded by ``horizon``)."""
+        return len(self._generations)
+
+    def _advance_watermark(self, generation: int) -> None:
+        if generation <= self._highest:
+            return
+        self._highest = generation
+        new_watermark = generation - self.horizon + 1
+        while self._watermark < new_watermark:
+            retired = self._generations.pop(self._watermark, None)
+            if retired is not None:
+                self.generations_retired += 1
+            self._source_payloads.pop(self._watermark, None)
+            self._watermark += 1
 
     def register_source(self, generation: int, index: int, payload: Any) -> None:
         """Encoder-side hook: remember payloads so erasures can be rebuilt."""
+        if generation < self._watermark:
+            return  # generation already retired
         self._source_payloads.setdefault(generation, {})[index] = payload
 
     def receive(self, generation: int, index: int, payload: Any, is_repair: bool) -> None:
+        if generation < self._watermark:
+            self.late_discarded += 1
+            return
+        self._advance_watermark(generation)
         gen = self._generations.setdefault(generation, _Generation(generation))
         if index in gen.received:
             return  # duplicate
@@ -146,7 +190,14 @@ class FecDecoder:
             gen.payloads[index] = payload
             self.delivered_recovered += 1
             self.on_deliver(payload)
+        # Recovery is done; the registered payloads have served their purpose.
+        self._source_payloads.pop(gen.index, None)
 
     def generation_complete(self, generation: int) -> bool:
+        """True while the generation is resident and fully reconstructed.
+
+        Retired generations (older than the pruning horizon) report False;
+        use the delivery counters for lifetime totals.
+        """
         gen = self._generations.get(generation)
         return gen is not None and len(gen.payloads) >= self.code.k

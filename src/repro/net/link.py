@@ -20,6 +20,7 @@ class LinkStats:
     dropped_queue: int = 0
     dropped_loss: int = 0
     dropped_down: int = 0
+    reordered: int = 0
     bytes_delivered: int = 0
     busy_time: float = 0.0
     queue_delay_total: float = field(default=0.0)
@@ -40,6 +41,26 @@ class Link:
     dropped if the queued backlog would exceed ``queue_limit_bytes``.
     Propagation adds ``prop_delay`` plus zero-mean truncated Gaussian jitter;
     random loss discards the packet after serialization.
+
+    The link honours its FIFO contract end to end: jitter never reorders
+    arrivals.  A jitter draw that would land a packet before an
+    already-scheduled arrival is clamped to that arrival time and counted in
+    ``stats.reordered``, so the modelling choice stays observable.
+
+    Fault hooks (see :mod:`repro.net.faults`):
+
+    ``loss_model``
+        When set, an object with ``packet_lost(rng) -> bool`` replaces the
+        i.i.d. Bernoulli ``loss_rate`` draw — e.g. a Gilbert–Elliott burst
+        state machine.
+    ``delay_model``
+        When set, an object with ``extra_delay(now) -> float`` and
+        ``extra_jitter_std(now) -> float`` adds a deterministic latency
+        penalty and widens the jitter during spike windows.
+    ``up``
+        Setting ``up = False`` mid-flight drops every queued and in-flight
+        packet (counted in ``dropped_down``) and resets the transmitter, so
+        an outage neither leaks traffic nor resumes with phantom backlog.
     """
 
     def __init__(
@@ -69,7 +90,12 @@ class Link:
         self._rng = sim.rng.stream(f"link:{name}")
         self._busy_until = 0.0
         self._queued_bytes = 0
-        self.up = True
+        self._in_flight = 0
+        self._epoch = 0
+        self._last_arrival = 0.0
+        self._up = True
+        self.loss_model = None
+        self.delay_model = None
 
     def serialization_delay(self, packet: Packet) -> float:
         return packet.size_bytes * 8.0 / self.rate_bps
@@ -79,6 +105,34 @@ class Link:
         """Bytes waiting for the transmitter (excludes the packet in service)."""
         return self._queued_bytes
 
+    @property
+    def in_flight(self) -> int:
+        """Packets accepted by the transmitter but not yet resolved."""
+        return self._in_flight
+
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    @up.setter
+    def up(self, value: bool) -> None:
+        value = bool(value)
+        if value == self._up:
+            return
+        self._up = value
+        if not value:
+            # Outage: everything accepted but not yet delivered is lost on
+            # the wire, and the transmitter forgets its backlog so recovery
+            # starts from a clean slate instead of draining phantom bytes.
+            self.stats.dropped_down += self._in_flight
+            self._in_flight = 0
+            self._epoch += 1
+            self._busy_until = self.sim.now
+            self._queued_bytes = 0
+            # Dropped packets never arrive, so they must not constrain the
+            # FIFO ordering of post-recovery traffic.
+            self._last_arrival = self.sim.now
+
     def send(self, packet: Packet, deliver: Callable[[Packet], None]) -> bool:
         """Enqueue ``packet``; ``deliver`` is called on arrival.
 
@@ -87,7 +141,7 @@ class Link:
         exactly like a real wire).
         """
         self.stats.offered += 1
-        if not self.up:
+        if not self._up:
             self.stats.dropped_down += 1
             return False
         now = self.sim.now
@@ -104,23 +158,42 @@ class Link:
         self._busy_until = now + wait + serialization
         self.stats.busy_time += serialization
         self.stats.queue_delay_total += wait
+        epoch = self._epoch
         if wait > 0:
             # Only packets waiting for the transmitter occupy the buffer.
             self._queued_bytes += packet.size_bytes
-            self.sim.call_later(
-                wait,
-                lambda: setattr(
-                    self, "_queued_bytes", self._queued_bytes - packet.size_bytes
-                ),
-            )
 
+            def _release(size=packet.size_bytes, epoch=epoch):
+                if epoch == self._epoch:
+                    self._queued_bytes -= size
+
+            self.sim.call_later(wait, _release)
+
+        extra_delay = 0.0
+        jitter_std = self.jitter_std
+        if self.delay_model is not None:
+            extra_delay = float(self.delay_model.extra_delay(now))
+            jitter_std = jitter_std + float(self.delay_model.extra_jitter_std(now))
         jitter = 0.0
-        if self.jitter_std > 0.0:
-            jitter = abs(float(self._rng.normal(0.0, self.jitter_std)))
-        lost = self.loss_rate > 0.0 and self._rng.random() < self.loss_rate
-        arrival_delay = wait + serialization + self.prop_delay + jitter
+        if jitter_std > 0.0:
+            jitter = abs(float(self._rng.normal(0.0, jitter_std)))
+        if self.loss_model is not None:
+            lost = bool(self.loss_model.packet_lost(self._rng))
+        else:
+            lost = self.loss_rate > 0.0 and self._rng.random() < self.loss_rate
+        arrival = now + wait + serialization + self.prop_delay + extra_delay + jitter
+        if arrival < self._last_arrival:
+            # FIFO contract: a lucky jitter draw must not overtake the
+            # packet serialized before this one.
+            self.stats.reordered += 1
+            arrival = self._last_arrival
+        self._last_arrival = arrival
+        self._in_flight += 1
 
-        def _complete(packet=packet, lost=lost):
+        def _complete(packet=packet, lost=lost, epoch=epoch):
+            if epoch != self._epoch:
+                return  # dropped by an outage; already counted there
+            self._in_flight -= 1
             if lost:
                 self.stats.dropped_loss += 1
                 return
@@ -128,7 +201,7 @@ class Link:
             self.stats.bytes_delivered += packet.size_bytes
             deliver(packet)
 
-        self.sim.call_later(arrival_delay, _complete)
+        self.sim.call_at(arrival, _complete)
         return True
 
     def utilization(self, horizon: Optional[float] = None) -> float:

@@ -19,7 +19,7 @@ from repro.sync.interest import (
     SpatialHashGrid,
     naive_relevant,
 )
-from repro.sync.migration import MigratableClient
+from repro.sync.migration import FailoverController, MigratableClient
 from repro.sync.prediction import MoveInput, PredictedAvatar
 from repro.sync.protocol import ClientUpdate, ServerSnapshot
 from repro.sync.server import ServerCostModel, SyncServer
@@ -28,6 +28,7 @@ from repro.sync.timesync import NtpSynchronizer
 __all__ = [
     "BroadcastInterest",
     "ClientUpdate",
+    "FailoverController",
     "MigratableClient",
     "MoveInput",
     "PredictedAvatar",

@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.metrics.collector import MetricsRegistry
 from repro.simkit.engine import Simulator
+from repro.simkit.errors import Interrupt
 from repro.sync.delta import DeltaEncoder, WorldState
 from repro.sync.interest import InterestConfig, InterestManager
 from repro.sync.protocol import ClientUpdate, ServerSnapshot
@@ -81,12 +82,17 @@ class SyncServer:
         self.interest = interest if interest is not None else InterestManager()
         self.cost_model = cost_model
         self.world = WorldState()
+        self._keyframe_interval = keyframe_interval
         self.encoder = DeltaEncoder(keyframe_interval=keyframe_interval)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._subscribers: Dict[str, Callable[[ServerSnapshot], None]] = {}
         self._pending: list = []
         self.tick_count = 0
         self._running = False
+        self.crashed = False
+        self.crash_count = 0
+        self._tick_process = None
+        self._run_token: Optional[object] = None
         # Measurement window of the current/most recent run() call.
         self._window_start_time = 0.0
         self._window_end_time: Optional[float] = None
@@ -97,6 +103,8 @@ class SyncServer:
 
     def subscribe(self, client_id: str, send: Callable[[ServerSnapshot], None]) -> None:
         """Register a client; ``send(snapshot)`` is invoked every tick."""
+        if self.crashed:
+            raise RuntimeError(f"server {self.name!r} is crashed")
         self._subscribers[client_id] = send
 
     def unsubscribe(self, client_id: str) -> None:
@@ -112,7 +120,54 @@ class SyncServer:
 
     def ingest(self, update: ClientUpdate) -> None:
         """Receive one client update (applied on the next tick)."""
+        if self.crashed:
+            return  # updates addressed to a dead server vanish
         self._pending.append(update)
+
+    # -- failure model -------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: drop all subscribers, pending updates and tick state.
+
+        The tick process (if any) is interrupted immediately; clients only
+        find out when their snapshots stop, which is exactly the signal a
+        failure detector has to work with.  Idempotent.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_count += 1
+        self._subscribers.clear()
+        self._pending.clear()
+        # Release the running state synchronously: the interrupt below only
+        # lands on the next event cascade, but a restart may want to re-arm
+        # run() within this one.  The stale token keeps the interrupted
+        # process's cleanup from clobbering that newer run.
+        self._run_token = None
+        if self._running:
+            self._running = False
+            self._window_end_time = self.sim.now
+        process = self._tick_process
+        if (
+            process is not None
+            and process.is_alive
+            and self.sim.active_process is not process
+        ):
+            process.interrupt("server crash")
+
+    def restart(self) -> None:
+        """Come back up with empty memory (world and delta state died).
+
+        Subscribers must re-attach; the fresh delta encoder then opens
+        every re-attached client with a full keyframe, the same mechanism
+        migration relies on.  Call :meth:`run` afterwards to resume ticking.
+        """
+        if not self.crashed:
+            raise RuntimeError(f"server {self.name!r} is not crashed")
+        self.crashed = False
+        self.world = WorldState()
+        self.encoder = DeltaEncoder(keyframe_interval=self._keyframe_interval)
+        self._pending = []
 
     def _relevant_sets(self, positions: Dict[str, np.ndarray]) -> tuple:
         """All subscribers' relevant sets plus the pairs-scanned count.
@@ -182,9 +237,13 @@ class SyncServer:
         """
         if duration <= 0:
             raise ValueError("duration must be positive")
+        if self.crashed:
+            raise RuntimeError(f"server {self.name!r} is crashed; restart() first")
         if self._running:
             raise RuntimeError("server already running")
         self._running = True
+        token = object()
+        self._run_token = token
         self._window_start_time = self.sim.now
         self._window_end_time = None
         self._window_start_ticks = self.tick_count
@@ -194,6 +253,8 @@ class SyncServer:
             try:
                 end = self.sim.now + duration
                 while self.sim.now < end - 1e-12:
+                    if self.crashed:
+                        break  # fail-stop: the tick process dies with the server
                     cost = self._do_tick()
                     # An overloaded server stretches its tick interval.  The
                     # last sleep is clamped to the horizon: accumulated float
@@ -204,11 +265,15 @@ class SyncServer:
                     if self.sim.now + delay > end:
                         delay = max(0.0, end - self.sim.now)
                     yield self.sim.timeout(delay)
+            except Interrupt:
+                pass  # crash() tore the process down mid-sleep
             finally:
-                self._running = False
-                self._window_end_time = self.sim.now
+                if self._run_token is token:
+                    self._running = False
+                    self._window_end_time = self.sim.now
 
-        return self.sim.process(body())
+        self._tick_process = self.sim.process(body())
+        return self._tick_process
 
     # -- measurement ----------------------------------------------------------
 

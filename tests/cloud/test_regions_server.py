@@ -147,3 +147,58 @@ def test_cloud_server_disconnect_cleans_up():
     cloud.disconnect("x")
     assert cloud.sync.n_subscribers == 0
     assert cloud.layout.seated_count == 0
+
+
+# -- outage re-planning (fault-injection PR) ----------------------------------
+
+
+@pytest.mark.faults
+def test_reassign_after_outage_moves_only_the_dead_sites_users():
+    from repro.cloud.regions import reassign_after_outage
+
+    population = sample_worldwide(300, np.random.default_rng(5))
+    plan = plan_regions(population, k=4)
+    dead = plan.sites[0]
+    survivors = set(plan.sites) - {dead}
+    new_plan = reassign_after_outage(plan, dead, population)
+
+    assert set(new_plan.sites) == survivors
+    assert len(new_plan.assignment) == len(plan.assignment)
+    moved = 0
+    for user_id, site in plan.assignment.items():
+        if site == dead:
+            moved += 1
+            assert new_plan.assignment[user_id] in survivors
+        else:
+            # Healthy sessions are untouched: same site, same RTT.
+            assert new_plan.assignment[user_id] == site
+            assert new_plan.rtts[user_id] == plan.rtts[user_id]
+    assert moved > 0
+    # Failing over to a farther site can only cost latency.
+    assert new_plan.mean_rtt() >= plan.mean_rtt() - 1e-12
+
+
+@pytest.mark.faults
+def test_reassign_after_outage_validation():
+    from repro.cloud.regions import reassign_after_outage
+
+    population = sample_worldwide(50, np.random.default_rng(6))
+    plan = plan_regions(population, k=2)
+    with pytest.raises(ValueError):
+        reassign_after_outage(plan, "atlantis", population)
+    solo = single_server_plan(population)
+    with pytest.raises(ValueError):
+        reassign_after_outage(solo, solo.sites[0], population)
+
+
+@pytest.mark.faults
+def test_plan_regions_exclude_plans_around_dead_site():
+    population = sample_worldwide(200, np.random.default_rng(7))
+    full = plan_regions(population, k=3)
+    dead = full.sites[0]
+    replanned = plan_regions(population, k=3, exclude=(dead,))
+    assert dead not in replanned.sites
+    assert len(replanned.sites) == 3
+    with pytest.raises(ValueError):
+        plan_regions(population, k=1,
+                     candidates=("tokyo",), exclude=("tokyo",))
