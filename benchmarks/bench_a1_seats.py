@@ -6,6 +6,13 @@ matching against naive first-fit on randomized classrooms, and reports
 the retargeting residual (which must be zero — pure rigid relocation).
 """
 
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct `python benchmarks/bench_*.py` run
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+
 import numpy as np
 
 from benchmarks.conftest import emit, header
@@ -80,3 +87,26 @@ def test_a1_seat_assignment(benchmark):
         residuals.append(retarget_error(state, moved, transform))
     emit(f"retargeting residual (rigid): max {max(residuals):.2e} m")
     assert max(residuals) < 1e-9
+
+
+def main(argv=None):
+    import argparse
+
+    from benchmarks._emit import write_bench_json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode (this bench is already quick)")
+    args = parser.parse_args(argv)
+    hungarian, first_fit = run_a1()
+    path = write_bench_json(
+        "a1", "hungarian_mean_displacement_m", float(np.mean(hungarian)), "m",
+        params={"instances": INSTANCES,
+                "first_fit_mean_m": float(np.mean(first_fit))})
+    print(f"hungarian {np.mean(hungarian):.3f} m vs first-fit "
+          f"{np.mean(first_fit):.3f} m; wrote {path}")
+    return hungarian, first_fit
+
+
+if __name__ == "__main__":
+    main()

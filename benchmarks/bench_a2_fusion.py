@@ -6,6 +6,13 @@ only, and the Kalman fusion of both — under occlusion and headset drift,
 the conditions that motivate having two sources at all.
 """
 
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct `python benchmarks/bench_*.py` run
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+
 import numpy as np
 
 from benchmarks.conftest import emit, header
@@ -79,3 +86,24 @@ def test_a2_fusion(benchmark):
     # headset's drift, the headset fills the rig's occlusion gaps.
     assert results["fused"] < results["headset_only"]
     assert results["fused"] < results["room_only"]
+
+
+def main(argv=None):
+    import argparse
+
+    from benchmarks._emit import write_bench_json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode (this bench is already quick)")
+    args = parser.parse_args(argv)
+    results = run_a2()
+    path = write_bench_json(
+        "a2", "fused_rmse_m", results["fused"], "m",
+        params={variant: error for variant, error in results.items()})
+    print(f"fused RMSE {results['fused']:.4f} m; wrote {path}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

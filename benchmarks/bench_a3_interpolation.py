@@ -13,6 +13,13 @@ reckoning trades accuracy for zero added delay (good between updates,
 spikes on direction changes).
 """
 
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct `python benchmarks/bench_*.py` run
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+
 import numpy as np
 
 from benchmarks.conftest import emit, header
@@ -104,3 +111,26 @@ def test_a3_interpolation(benchmark):
     # "now" but the motion is smooth; it should beat raw-latest too
     # because its render-time target is bracketed, not stale.
     assert interp_mean < latest_mean * 1.5
+
+
+def main(argv=None):
+    import argparse
+
+    from benchmarks._emit import write_bench_json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode (this bench is already quick)")
+    args = parser.parse_args(argv)
+    results = run_a3()
+    path = write_bench_json(
+        "a3", "interpolation_mean_error_m", results["interpolation"][0], "m",
+        params={policy: {"mean_m": mean, "p95_m": p95}
+                for policy, (mean, p95) in results.items()})
+    print(f"interpolation mean error "
+          f"{results['interpolation'][0]:.4f} m; wrote {path}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,13 @@ with periodic keyframes.  Measures per-client bandwidth on a classroom
 where only a fraction of participants move each tick.
 """
 
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct `python benchmarks/bench_*.py` run
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+
 import numpy as np
 
 from benchmarks.conftest import emit, header
@@ -63,3 +70,25 @@ def test_a4_delta_encoding(benchmark):
     assert results["delta_kf120"] < results["delta_kf30"] < results["full"]
     # With 15% movers, deltas should cut well over half the bandwidth.
     assert results["delta_kf30"] < 0.5 * results["full"]
+
+
+def main(argv=None):
+    import argparse
+
+    from benchmarks._emit import write_bench_json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode (this bench is already quick)")
+    args = parser.parse_args(argv)
+    results = run_a4()
+    path = write_bench_json(
+        "a4", "delta_kf30_kbps", results["delta_kf30"], "kbps",
+        params=dict(results))
+    print(f"delta (kf=30) {results['delta_kf30']:.1f} kbps vs full "
+          f"{results['full']:.1f} kbps; wrote {path}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

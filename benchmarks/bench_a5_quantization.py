@@ -7,6 +7,13 @@ quantization error falls below the tracker's own noise (~2-4 mm) —
 finer bits buy nothing.
 """
 
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct `python benchmarks/bench_*.py` run
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+
 import numpy as np
 
 from benchmarks.conftest import emit, header
@@ -68,3 +75,27 @@ def test_a5_quantization(benchmark):
     assert table["16b/10b"][1] < TRACKER_NOISE_M
     # The coarse point is unusable (centimetres of snap).
     assert table["8b/4b"][1] > 0.02
+
+
+def main(argv=None):
+    import argparse
+
+    from benchmarks._emit import write_bench_json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode (this bench is already quick)")
+    args = parser.parse_args(argv)
+    table = run_a5()
+    best_error = min(pos_err for _bytes, pos_err, _ang in table.values())
+    path = write_bench_json(
+        "a5", "best_pos_error_m", best_error, "m",
+        params={label: {"bytes": nbytes, "pos_err_m": pos_err,
+                        "ang_err_deg": ang_err}
+                for label, (nbytes, pos_err, ang_err) in table.items()})
+    print(f"finest quantization error {best_error * 1e3:.2f} mm; wrote {path}")
+    return table
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,13 @@ self-avatar responds instantly; the residual cost is the correction error
 when the server disagrees.
 """
 
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct `python benchmarks/bench_*.py` run
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+
 import numpy as np
 
 from benchmarks.conftest import emit, header
@@ -68,3 +75,29 @@ def test_a6_prediction(benchmark):
     naive_growth = table[RTTS[-1]][0] / table[RTTS[0]][0]
     residual_growth = (table[RTTS[-1]][1] + 1e-9) / (table[RTTS[0]][1] + 1e-9)
     assert naive_growth > 5 * residual_growth
+
+
+def main(argv=None):
+    import argparse
+
+    from benchmarks._emit import write_bench_json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode (this bench is already quick)")
+    args = parser.parse_args(argv)
+    table = run_a6()
+    worst_rtt = max(table)
+    naive, reconciled = table[worst_rtt]
+    path = write_bench_json(
+        "a6", "reconcile_error_m", reconciled, "m",
+        params={"rtt_s": worst_rtt, "naive_lag_error_m": naive,
+                "sweep": {str(rtt): {"naive_m": n, "reconciled_m": r}
+                          for rtt, (n, r) in table.items()}})
+    print(f"at RTT {worst_rtt * 1e3:.0f} ms: naive {naive:.3f} m vs "
+          f"reconciled {reconciled:.3f} m; wrote {path}")
+    return table
+
+
+if __name__ == "__main__":
+    main()

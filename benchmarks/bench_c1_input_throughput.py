@@ -7,6 +7,13 @@ Monte-carlo text entry per modality, plus FOV-limited gesture legibility
 across display classes.
 """
 
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct `python benchmarks/bench_*.py` run
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+
 import math
 
 import numpy as np
@@ -58,3 +65,48 @@ def test_c1b_input_throughput(benchmark):
     # nonverbal communication relative to wide-FOV VR displays.
     assert legibilities["blended_metaverse"] > legibilities["ar_classroom"]
     assert legibilities["ar_classroom"] > legibilities["video_conference"]
+
+
+def main(argv=None):
+    import argparse
+
+    from benchmarks._emit import (
+        export_trace,
+        phase_breakdown_ms,
+        wall_phase,
+        wall_tracer,
+        write_bench_json,
+    )
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode: shorter entry task")
+    parser.add_argument("--trace", action="store_true",
+                        help="record wall-clock spans per modality phase")
+    args = parser.parse_args(argv)
+    words = 60 if args.quick else WORDS
+    tracer = wall_tracer() if args.trace else None
+    results = {}
+    for name, modality in INPUT_MODALITIES.items():
+        session = TypingSession(modality, np.random.default_rng(5), obs=tracer)
+        if tracer is not None:
+            with wall_phase(tracer, name) as phase:
+                session.enter_words(words, trace_parent=phase)
+        else:
+            session.enter_words(words)
+        results[name] = (session.achieved_wpm, session.retries)
+    stages = phase_breakdown_ms(tracer) if tracer is not None else None
+    path = write_bench_json(
+        "c1b", "speech_wpm", results["speech"][0], "wpm",
+        params={"words": words,
+                **{name: wpm for name, (wpm, _r) in results.items()}},
+        stages=stages)
+    if tracer is not None:
+        export_trace(tracer.spans(), "c1b")
+    print(f"speech {results['speech'][0]:.1f} WPM vs keyboard "
+          f"{results['physical_keyboard'][0]:.1f} WPM; wrote {path}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

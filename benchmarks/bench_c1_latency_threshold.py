@@ -6,6 +6,13 @@ despite less noticeable" (Claypool & Claypool).  Sweeps injected RTT and
 reports normalized task performance, degradation, and noticeability.
 """
 
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct `python benchmarks/bench_*.py` run
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+
 from benchmarks.conftest import emit, header
 from repro.metrics.qoe import InteractionQoeModel
 
@@ -38,3 +45,44 @@ def test_c1a_latency_threshold(benchmark):
     assert not series[100][2] and series[150][2]
     # Hundreds of ms: performance collapses below 40%.
     assert series[300][0] < 0.4
+
+
+def main(argv=None):
+    import argparse
+
+    from benchmarks._emit import (
+        phase_breakdown_ms,
+        wall_phase,
+        wall_tracer,
+        write_bench_json,
+    )
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode (this bench is already quick)")
+    parser.add_argument("--trace", action="store_true",
+                        help="record wall-clock spans per RTT point")
+    args = parser.parse_args(argv)
+    tracer = wall_tracer() if args.trace else None
+    model = InteractionQoeModel()
+    series = {}
+    for rtt in RTTS_MS:
+        if tracer is not None:
+            with wall_phase(tracer, f"rtt_{rtt}ms"):
+                series[rtt] = (model.performance(rtt), model.degradation(rtt),
+                               model.is_noticeable(rtt))
+        else:
+            series[rtt] = (model.performance(rtt), model.degradation(rtt),
+                           model.is_noticeable(rtt))
+    stages = phase_breakdown_ms(tracer) if tracer is not None else None
+    path = write_bench_json(
+        "c1a", "performance_at_100ms", series[100][0], "fraction",
+        params={str(rtt): performance
+                for rtt, (performance, _d, _n) in series.items()},
+        stages=stages)
+    print(f"performance at 100 ms RTT: {series[100][0]:.3f}; wrote {path}")
+    return series
+
+
+if __name__ == "__main__":
+    main()

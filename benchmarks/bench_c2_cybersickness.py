@@ -10,6 +10,13 @@ Sweeps each technical factor, profiles fuzzy-individualized users, and
 ablates the two mitigations.
 """
 
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct `python benchmarks/bench_*.py` run
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+
 from benchmarks.conftest import emit, header
 from repro.sickness.conflict import ExposureConfig, SensoryConflictModel
 from repro.sickness.mitigation import FovVignette, SpeedProtector
@@ -93,3 +100,41 @@ def test_c2_cybersickness(benchmark):
     emit(f"  FOV vignette    {vignette:6.1f}")
     emit(f"  both            {both:6.1f}")
     assert both < min(speed, vignette) < max(speed, vignette) < raw
+
+
+def main(argv=None):
+    import argparse
+
+    from benchmarks._emit import (
+        phase_breakdown_ms,
+        wall_phase,
+        wall_tracer,
+        write_bench_json,
+    )
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode (this bench is already quick)")
+    parser.add_argument("--trace", action="store_true",
+                        help="record wall-clock spans per factor sweep")
+    args = parser.parse_args(argv)
+    tracer = wall_tracer() if args.trace else None
+    if tracer is None:
+        sweeps = run_c2()
+    else:
+        with wall_phase(tracer, "factor_sweeps"):
+            sweeps = run_c2()
+    latency_curve = dict(sweeps["latency_ms"])
+    stages = phase_breakdown_ms(tracer) if tracer is not None else None
+    path = write_bench_json(
+        "c2", "ssq_at_200ms_latency", latency_curve[200], "ssq",
+        params={factor: {str(v): s for v, s in series}
+                for factor, series in sweeps.items()},
+        stages=stages)
+    print(f"SSQ at 200 ms motion-to-photon: {latency_curve[200]:.1f}; "
+          f"wrote {path}")
+    return sweeps
+
+
+if __name__ == "__main__":
+    main()

@@ -184,15 +184,25 @@ def run_reliable_outage_recovery(seed: int, duration: float,
 
 
 def run_c3e(duration: float = DURATION, chunks: int = CHUNKS,
-            seed: int = SEED) -> dict:
-    results = {
-        "failover": run_server_crash_failover(seed, duration),
-        "reliable": run_reliable_outage_recovery(seed, duration, chunks),
-    }
-    replay = {
-        "failover": run_server_crash_failover(seed, duration),
-        "reliable": run_reliable_outage_recovery(seed, duration, chunks),
-    }
+            seed: int = SEED, tracer=None) -> dict:
+    import contextlib
+
+    def phase(name):
+        if tracer is None:
+            return contextlib.nullcontext()
+        from benchmarks._emit import wall_phase
+        return wall_phase(tracer, name)
+
+    with phase("failover"):
+        failover = run_server_crash_failover(seed, duration)
+    with phase("reliable"):
+        reliable = run_reliable_outage_recovery(seed, duration, chunks)
+    results = {"failover": failover, "reliable": reliable}
+    with phase("replay"):
+        replay = {
+            "failover": run_server_crash_failover(seed, duration),
+            "reliable": run_reliable_outage_recovery(seed, duration, chunks),
+        }
     results["replay_identical"] = repr(results["failover"]) == repr(
         replay["failover"]) and repr(results["reliable"]) == repr(
         replay["reliable"])
@@ -262,11 +272,32 @@ def main(argv=None):
         help="smoke mode: shorter horizon and transfer",
     )
     parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--trace", action="store_true",
+                        help="record wall-clock spans per fault scenario")
     args = parser.parse_args(argv)
+    from benchmarks._emit import (
+        export_trace,
+        phase_breakdown_ms,
+        wall_tracer,
+        write_bench_json,
+    )
     duration = QUICK_DURATION if args.quick else DURATION
     chunks = QUICK_CHUNKS if args.quick else CHUNKS
-    results = run_c3e(duration, chunks, args.seed)
+    tracer = wall_tracer() if args.trace else None
+    results = run_c3e(duration, chunks, args.seed, tracer=tracer)
     report(results, duration)
+    stages = phase_breakdown_ms(tracer) if tracer is not None else None
+    path = write_bench_json(
+        "c3e", "failover_blackout_ms",
+        results["failover"]["blackout_s"] * 1e3, "ms",
+        params={"duration_s": duration, "chunks": chunks, "seed": args.seed,
+                "recovery_ms": results["reliable"]["recovery_s"] * 1e3,
+                "retransmissions": results["reliable"]["retransmissions"],
+                "replay_identical": str(results["replay_identical"])},
+        stages=stages)
+    if tracer is not None:
+        export_trace(tracer.spans(), "c3e")
+    emit(f"wrote {path}")
     return results
 
 

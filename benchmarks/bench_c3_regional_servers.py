@@ -61,8 +61,48 @@ def test_c3b_regional_servers(benchmark):
     assert plans["k=4"].p95_rtt() < single.p95_rtt() * 0.7
 
 
+TRACE_PAIRS = 3          # probe pairs per traced run: near / median / far RTT
+TRACE_DURATION_S = 4.0   # simulated seconds of probe motion
+
+
+def run_c3b_traced(plan, pairs=TRACE_PAIRS, duration=TRACE_DURATION_S):
+    """Span-trace the MTP pipeline over a regional plan's RTT geography.
+
+    Picks ``pairs`` probe pairs spanning the plan's latency spread (best,
+    median, p95 user), runs the instrumented capture-to-photon harness
+    against one regional server, and returns the per-stage report.
+    """
+    from repro.obs import MotionToPhotonHarness, MtpProbeConfig
+    from repro.simkit import Simulator
+
+    ranked = sorted(plan.rtts.items(), key=lambda item: item[1])
+    picks = [ranked[min(len(ranked) - 1, int(q * (len(ranked) - 1)))]
+             for q in np.linspace(0.0, 0.95, pairs)]
+    rtts = {}
+    for index, (user, rtt) in enumerate(picks):
+        # The harness pairs consecutive users; give each picked user a
+        # same-RTT partner so a pair shares one latency geography.
+        rtts[f"{user}"] = float(rtt)
+        rtts[f"{user}:peer"] = float(rtt)
+    sim = Simulator(seed=11, obs=True)
+    harness = MotionToPhotonHarness(sim, rtts, MtpProbeConfig())
+    harness.run(duration)
+    return harness
+
+
+def report_traced(mtp_report, plan_label):
+    header(f"C3b --trace — motion-to-photon attribution ({plan_label})")
+    emit(mtp_report.table())
+
+
 def main(argv=None):
     import argparse
+
+    from benchmarks._emit import (
+        export_prometheus,
+        export_trace,
+        write_bench_json,
+    )
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -70,12 +110,45 @@ def main(argv=None):
         help="smoke mode: smaller worldwide population",
     )
     parser.add_argument("--population", type=int, default=None)
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="span-trace probe pipelines over the k=4 plan's RTTs and "
+             "print the per-stage motion-to-photon budget table",
+    )
     args = parser.parse_args(argv)
     population_size = args.population if args.population is not None else (
         QUICK_POPULATION if args.quick else POPULATION
     )
     plans = run_c3b(population_size)
     report(plans, population_size)
+    stages = None
+    extra_params = {}
+    if args.trace:
+        harness = run_c3b_traced(plans["k=4"])
+        mtp = harness.report()
+        report_traced(mtp, "k=4 plan")
+        coverage = mtp.mean_coverage()
+        if coverage < 0.95:
+            raise SystemExit(
+                f"stage decomposition covers only {coverage:.1%} of "
+                f"end-to-end latency (needs >= 95%)")
+        stages = mtp.breakdown_ms()
+        extra_params = {
+            "traced_pairs": TRACE_PAIRS,
+            "coverage": coverage,
+            "mtp_mean_ms": mtp.end_to_end.summary_ms().mean,
+            "mtp_violation_fraction": mtp.violation_fraction(),
+        }
+        emit(f"wrote {export_trace(harness.sim.obs.spans(), 'c3b')}")
+        emit(f"wrote {export_prometheus(mtp.to_registry(), 'c3b')}")
+    path = write_bench_json(
+        "c3b", "p95_rtt_ms", plans["k=4"].p95_rtt() * 1e3, "ms",
+        params={"population": population_size, "k": 4,
+                "mean_rtt_ms": plans["k=4"].mean_rtt() * 1e3,
+                "single_p95_rtt_ms": plans["single (HK)"].p95_rtt() * 1e3,
+                **extra_params},
+        stages=stages)
+    emit(f"wrote {path}")
     return plans
 
 

@@ -7,6 +7,13 @@ rendered in the cloud."  Compares delivered frame quality across the three
 modes as the cloud RTT grows, plus each device class's triangle ceiling.
 """
 
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct `python benchmarks/bench_*.py` run
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+
 from benchmarks.conftest import emit, header
 from repro.render.budget import FrameBudget
 from repro.render.display import DisplayModel
@@ -67,3 +74,51 @@ def test_c3c_remote_render(benchmark):
     assert ceilings["webgl_phone"] < ceilings["standalone_hmd"] < ceilings["pc_vr"]
     # A 20-avatar photoreal classroom (~3M tris) exceeds the phone ceiling.
     assert ceilings["webgl_phone"] < 20 * 150_000
+
+
+def main(argv=None):
+    import argparse
+
+    from benchmarks._emit import (
+        phase_breakdown_ms,
+        wall_phase,
+        wall_tracer,
+        write_bench_json,
+    )
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode (this bench is already quick)")
+    parser.add_argument("--trace", action="store_true",
+                        help="record wall-clock spans per RTT point")
+    args = parser.parse_args(argv)
+    tracer = wall_tracer() if args.trace else None
+    sim = Simulator(seed=9)
+    trace = SeatedMotion((0, 0, 1.2), sim.rng.stream("head"), head_scan_rad=0.8)
+    table = {}
+    for rtt in RTTS:
+        config = RemoteRenderConfig(rtt=rtt)
+        row = {}
+        for mode in ("local", "cloud", "collaborative"):
+            renderer = CollaborativeRenderer(trace, config, predictor_gain=0.5)
+            if tracer is not None:
+                with wall_phase(tracer, f"{mode}_rtt_{rtt * 1e3:.0f}ms"):
+                    row[mode] = renderer.mean_quality(
+                        0.0, 20.0, fps=36.0, mode=mode)
+            else:
+                row[mode] = renderer.mean_quality(0.0, 20.0, fps=36.0, mode=mode)
+        table[rtt] = row
+    worst = max(RTTS)
+    stages = phase_breakdown_ms(tracer) if tracer is not None else None
+    path = write_bench_json(
+        "c3c", "collab_quality_at_200ms_rtt", table[worst]["collaborative"],
+        "quality",
+        params={f"{rtt * 1e3:.0f}ms": row for rtt, row in table.items()},
+        stages=stages)
+    print(f"collaborative quality at {worst * 1e3:.0f} ms RTT: "
+          f"{table[worst]['collaborative']:.3f}; wrote {path}")
+    return table
+
+
+if __name__ == "__main__":
+    main()

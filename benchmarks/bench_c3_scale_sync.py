@@ -40,8 +40,9 @@ QUICK_SIZES = (10, 50)
 QUICK_DURATION = 0.5
 
 
-def run_one(n: int, managed: bool, duration: float = DURATION):
-    sim = Simulator(seed=3)
+def run_one(n: int, managed: bool, duration: float = DURATION,
+            trace: bool = False):
+    sim = Simulator(seed=3, obs=trace)
     interest = (
         InterestManager(InterestConfig(radius_m=8.0, max_entities=30))
         if managed else BroadcastInterest()
@@ -67,17 +68,24 @@ def run_one(n: int, managed: bool, duration: float = DURATION):
     server.run(duration=duration)
     sim.run(until=duration)
     tick_cost = server.metrics.tracker("tick_cost").summary()
-    return {
+    row = {
         "tick_rate": server.achieved_tick_rate(duration),
         "tick_cost_ms": tick_cost.mean * 1e3,
         "egress_kbps": server.egress_bytes_per_client_s(duration) * 8 / 1e3,
         "pairs_scanned": server.metrics.counter("interest_pairs_scanned"),
     }
+    if trace:
+        from repro.obs.span import stage_durations
+        row["stages_ms"] = {
+            stage: seconds * 1e3
+            for stage, seconds in stage_durations(sim.obs.spans()).items()
+        }
+    return row
 
 
-def run_c3a(sizes=SIZES, duration=DURATION):
+def run_c3a(sizes=SIZES, duration=DURATION, trace=False):
     return {
-        (n, managed): run_one(n, managed, duration)
+        (n, managed): run_one(n, managed, duration, trace)
         for n in sizes
         for managed in (False, True)
     }
@@ -132,15 +140,31 @@ def main(argv=None):
         "--duration", type=float, default=None,
         help="simulated seconds per configuration",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="span-trace server ticks (sim-clock) and report stage totals",
+    )
     args = parser.parse_args(argv)
+    from benchmarks._emit import write_bench_json
+
     sizes = tuple(args.sizes) if args.sizes else (
         QUICK_SIZES if args.quick else SIZES
     )
     duration = args.duration if args.duration is not None else (
         QUICK_DURATION if args.quick else DURATION
     )
-    results = run_c3a(sizes, duration)
+    results = run_c3a(sizes, duration, trace=args.trace)
     report(results, duration)
+    biggest = results[(sizes[-1], True)]
+    path = write_bench_json(
+        "c3a", "egress_kbps_interest", biggest["egress_kbps"], "kbps",
+        params={
+            "n": sizes[-1], "duration_s": duration,
+            "egress_kbps_broadcast": results[(sizes[-1], False)]["egress_kbps"],
+            "tick_cost_ms": biggest["tick_cost_ms"],
+        },
+        stages=biggest.get("stages_ms"))
+    emit(f"wrote {path}")
     return results
 
 

@@ -12,6 +12,13 @@ the frames but stalls (round-trip recovery); FEC restores the frames at a
 constant bandwidth premium with no added latency — the Nebula result.
 """
 
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct `python benchmarks/bench_*.py` run
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+
 from benchmarks.conftest import emit, header
 from repro.media.stream import VideoStreamSession
 from repro.simkit import Simulator
@@ -89,3 +96,60 @@ def test_c3d_video_fec(benchmark):
     # Net effect at interactive deadlines: FEC wins on QoE (the Nebula shape).
     assert fec.mos >= arq.mos
     assert fec.mos > plain.mos
+
+
+def main(argv=None):
+    import argparse
+
+    from benchmarks._emit import (
+        phase_breakdown_ms,
+        wall_phase,
+        wall_tracer,
+        write_bench_json,
+    )
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode: one seed, two loss rates")
+    parser.add_argument("--trace", action="store_true",
+                        help="record wall-clock spans per (loss, strategy)")
+    args = parser.parse_args(argv)
+    losses = (0.0, 0.05) if args.quick else LOSSES
+    seeds = SEEDS[:1] if args.quick else SEEDS
+    duration = 4.0 if args.quick else 8.0
+    tracer = wall_tracer() if args.trace else None
+    table = {}
+    for loss in losses:
+        for strategy in STRATEGIES:
+
+            def run_cell():
+                reports = []
+                for seed in seeds:
+                    sim = Simulator(seed=seed)
+                    session = VideoStreamSession(
+                        sim, bitrate_bps=3e6, one_way_delay=0.05,
+                        loss_rate=loss, strategy=strategy, fec_overhead=0.4,
+                        max_retx=6, name=f"{strategy}-{loss}")
+                    reports.append(session.run(duration=duration))
+                return _mean_report(reports)
+
+            if tracer is not None:
+                with wall_phase(tracer, f"{strategy}_loss_{loss:.0%}"):
+                    table[(loss, strategy)] = run_cell()
+            else:
+                table[(loss, strategy)] = run_cell()
+    heavy = 0.05
+    stages = phase_breakdown_ms(tracer) if tracer is not None else None
+    path = write_bench_json(
+        "c3d", "fec_mos_at_5pct_loss", table[(heavy, "fec")].mos, "mos",
+        params={"losses": list(losses), "seeds": list(seeds),
+                "duration_s": duration,
+                "mos": {f"{strategy}@{loss:.0%}": report.mos
+                        for (loss, strategy), report in table.items()}},
+        stages=stages)
+    print(f"FEC MOS at 5% loss: {table[(heavy, 'fec')].mos:.2f}; wrote {path}")
+    return table
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,13 @@ tamper detection, and the overlay privacy policy's violation recall and
 decision overhead on a mixed workload.
 """
 
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct `python benchmarks/bench_*.py` run
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+
 import numpy as np
 
 from benchmarks.conftest import emit, header
@@ -82,3 +89,56 @@ def test_c4_privacy_filtering(benchmark):
     assert recall == 1.0
     assert counts[PrivacyDecision.DENY] > 0.2 * N_OVERLAYS
     assert counts[PrivacyDecision.REDACT] > 0
+
+
+def main(argv=None):
+    import argparse
+    import time
+
+    from benchmarks._emit import (
+        phase_breakdown_ms,
+        wall_phase,
+        wall_tracer,
+        write_bench_json,
+    )
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode (this bench is already quick)")
+    parser.add_argument("--trace", action="store_true",
+                        help="record wall-clock spans for ledger/privacy phases")
+    args = parser.parse_args(argv)
+    tracer = wall_tracer() if args.trace else None
+
+    started = time.perf_counter()
+    if tracer is not None:
+        with wall_phase(tracer, "ledger"):
+            run_ledger()
+    else:
+        run_ledger()
+    ledger_ops_s = (N_MINTS + N_MINTS // 2) / (time.perf_counter() - started)
+
+    overlays = build_overlays(np.random.default_rng(4))
+    policy = PrivacyPolicy()
+    if tracer is not None:
+        with wall_phase(tracer, "privacy"):
+            decisions = policy.evaluate_batch(overlays)
+    else:
+        decisions = policy.evaluate_batch(overlays)
+    recall = PrivacyPolicy().violation_recall(overlays)
+    counts = {}
+    for decision in decisions.values():
+        counts[decision.value] = counts.get(decision.value, 0) + 1
+    stages = phase_breakdown_ms(tracer) if tracer is not None else None
+    path = write_bench_json(
+        "c4", "ledger_ops_per_s", ledger_ops_s, "ops/s",
+        params={"mints": N_MINTS, "overlays": N_OVERLAYS,
+                "violation_recall": recall, "decisions": counts},
+        stages=stages)
+    print(f"ledger {ledger_ops_s:,.0f} ops/s, privacy recall {recall:.0%}; "
+          f"wrote {path}")
+    return ledger_ops_s, recall
+
+
+if __name__ == "__main__":
+    main()

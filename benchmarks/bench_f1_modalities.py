@@ -11,6 +11,13 @@ lowest presence/engagement; AR lacks remote access; VR lacks physical
 co-presence.
 """
 
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct `python benchmarks/bench_*.py` run
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+
 import math
 
 import numpy as np
@@ -65,3 +72,26 @@ def test_f1_modalities(benchmark):
     assert not MODALITY_PROFILES["ar_classroom"].remote_access
     assert not MODALITY_PROFILES["vr_remote"].physical_copresence
     assert ar.attention_fraction > zoom.attention_fraction
+
+
+def main(argv=None):
+    import argparse
+
+    from benchmarks._emit import write_bench_json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode (this bench is already quick)")
+    args = parser.parse_args(argv)
+    reports = run_f1()
+    path = write_bench_json(
+        "f1", "blended_engagement", reports["blended_metaverse"].engagement,
+        "score",
+        params={name: report.engagement for name, report in reports.items()})
+    print(f"blended classroom engagement "
+          f"{reports['blended_metaverse'].engagement:.3f}; wrote {path}")
+    return reports
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,13 @@ gesture legibility under the modality's FOV, expression accuracy, and the
 resulting nonverbal bandwidth.
 """
 
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct `python benchmarks/bench_*.py` run
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+
 import math
 
 import numpy as np
@@ -68,3 +75,27 @@ def test_f1b_communication(benchmark):
     # And the blended room moves an order of magnitude more nonverbal
     # signal than the tile grid.
     assert blended[3] > 10 * zoom[3]
+
+
+def main(argv=None):
+    import argparse
+
+    from benchmarks._emit import write_bench_json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode (this bench is already quick)")
+    args = parser.parse_args(argv)
+    table = run_f1b()
+    blended = table["blended_metaverse"]
+    path = write_bench_json(
+        "f1b", "blended_nonverbal_bps", blended[3], "bps",
+        params={name: {"spatialized": spat, "intelligibility": intel,
+                       "legibility": leg, "nonverbal_bps": nonverbal}
+                for name, (spat, intel, leg, nonverbal) in table.items()})
+    print(f"blended nonverbal bandwidth {blended[3]:.3f} bps; wrote {path}")
+    return table
+
+
+if __name__ == "__main__":
+    main()

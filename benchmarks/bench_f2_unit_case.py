@@ -7,6 +7,13 @@ classrooms will be visible to the attendants in the other two classrooms
 through his or her avatar representation."
 """
 
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct `python benchmarks/bench_*.py` run
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+
 import numpy as np
 
 from benchmarks.conftest import emit, header
@@ -49,3 +56,30 @@ def test_f2_unit_case(benchmark):
     assert report.cloud_visibility() == 1.0
     # Remote Europe/US users: WAN latency is high but bounded.
     assert deployment.remote_clients["cambridge_uk-0"].snapshot_latency.summary().mean < 0.5
+
+
+def main(argv=None):
+    import argparse
+
+    from benchmarks._emit import write_bench_json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode (this bench is already quick)")
+    args = parser.parse_args(argv)
+    deployment = run_f2()
+    report = deployment.report()
+    path = write_bench_json(
+        "f2", "cloud_visibility", report.cloud_visibility(), "fraction",
+        params={
+            "cross_campus_visibility": report.cross_campus_visibility(),
+            "remote_visibility": report.remote_visibility_at_campuses(),
+            "staleness_mean_ms": float(
+                np.mean(report.staleness_cross_campus_ms())),
+        })
+    print(f"cloud visibility {report.cloud_visibility():.0%}; wrote {path}")
+    return deployment
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,13 @@ interpolation delay) and, for remote users, WAN propagation — exactly the
 bottlenecks Section 3.3 frets about.
 """
 
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct `python benchmarks/bench_*.py` run
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+
 import numpy as np
 
 from benchmarks.conftest import emit, header
@@ -75,3 +82,32 @@ def test_f3_pipeline(benchmark):
     # The noticeability threshold the paper cites: the MR->MR path should
     # sit in the low hundreds of ms dominated by tick/interp choices.
     assert end_to_end_mr < 350.0
+
+
+def main(argv=None):
+    import argparse
+
+    from benchmarks._emit import write_bench_json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode (this bench is already quick)")
+    args = parser.parse_args(argv)
+    deployment = run_f3()
+    staleness = deployment.report().staleness_cross_campus_ms()
+    cwb = deployment.campuses["cwb"]
+    path = write_bench_json(
+        "f3", "cross_campus_staleness_ms", float(np.mean(staleness)), "ms",
+        params={
+            "p95_ms": float(np.percentile(staleness, 95)),
+            "interp_delay_ms":
+                deployment.campuses["gz"].edge.config.interpolation_delay_s
+                * 1e3,
+            "uplink_stages_ms": cwb.uplink_budget.mean_breakdown_ms(),
+        })
+    print(f"cross-campus staleness {np.mean(staleness):.1f} ms; wrote {path}")
+    return deployment
+
+
+if __name__ == "__main__":
+    main()

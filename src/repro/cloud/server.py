@@ -87,6 +87,7 @@ class CloudClassroomServer:
                 client_id=update.client_id,
                 state=rebased,
                 input_seq=update.input_seq,
+                ctx=update.ctx,
             )
         self.sync.ingest(update)
 
@@ -101,6 +102,10 @@ class CloudClassroomServer:
             placed.pose.position + self._seat_offsets[pid],
             placed.pose.orientation,
         )
+        if self.sim.obs.enabled:
+            ctx = state.meta.get("obs_ctx")
+            if ctx is not None:
+                self.sync.trace_entity(pid, ctx)
         self.sync.world.apply(placed)
         self.edge_states_ingested += 1
 

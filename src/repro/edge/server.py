@@ -30,6 +30,9 @@ class EdgeConfig:
     per_avatar_cost_s: float = 0.0004   # fusion + generation compute
     interpolation_delay_s: float = 0.1
     seat_policy: str = "hungarian"      # or "first_fit"
+    #: Open one observability trace per generated avatar state (requires
+    #: the simulator's span tracer to be enabled; see repro.obs).
+    trace_avatars: bool = False
 
     def __post_init__(self):
         if self.avatar_rate_hz <= 0:
@@ -100,8 +103,18 @@ class EdgeServer:
         """Generate and replicate all local avatars; returns compute cost."""
         states = self.aggregator.generate_all()
         cost = self.config.per_avatar_cost_s * len(states)
+        obs = self.sim.obs
+        trace = obs.enabled and self.config.trace_avatars
         for state in states.values():
             self.budget.record("edge_generate", self.config.per_avatar_cost_s)
+            if trace:
+                root = obs.start_trace(
+                    "avatar", stage="mtp",
+                    participant=state.participant_id, edge=self.name)
+                obs.record_span(
+                    "edge_generate", "edge_compute", self.sim.now,
+                    self.sim.now + self.config.per_avatar_cost_s, parent=root)
+                state.meta["obs_ctx"] = root
             for send in self._peers.values():
                 send(state.copy())
                 self.states_sent += 1
@@ -133,7 +146,21 @@ class EdgeServer:
         system; passed per call here for simplicity).
         """
         self.states_received += 1
-        self.budget.record("inter_site", max(0.0, self.sim.now - state.time))
+        inter_site = max(0.0, self.sim.now - state.time)
+        self.budget.record("inter_site", inter_site)
+        obs = self.sim.obs
+        if obs.enabled:
+            ctx = state.meta.get("obs_ctx")
+            if ctx is not None:
+                # The replicated state becomes displayable one
+                # interpolation delay after ingest; that wait closes its
+                # trace (the origin edge left the root span open).
+                displayable = self.sim.now + self.config.interpolation_delay_s
+                obs.record_span(
+                    "interp_wait", "interp_wait", self.sim.now, displayable,
+                    parent=ctx, edge=self.name, inter_site_s=inter_site)
+                if hasattr(ctx, "finish"):
+                    ctx.finish(displayable)
         pid = state.participant_id
         self._anchors[pid] = np.asarray(source_anchor, dtype=float)
         if pid not in self._transforms:

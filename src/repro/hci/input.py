@@ -61,19 +61,27 @@ INPUT_MODALITIES: Dict[str, InputModality] = {
 
 
 class TypingSession:
-    """Monte-carlo text entry with per-word speed jitter and retries."""
+    """Monte-carlo text entry with per-word speed jitter and retries.
 
-    def __init__(self, modality: InputModality, rng: np.random.Generator):
+    ``obs`` (an optional :class:`~repro.obs.span.SpanTracer`) records one
+    ``input`` span per entry act, so traced interaction experiments can
+    attribute the human text-entry share of an interaction loop.
+    """
+
+    def __init__(self, modality: InputModality, rng: np.random.Generator,
+                 obs=None):
         self.modality = modality
         self.rng = rng
+        self.obs = obs
         self.words_entered = 0
         self.retries = 0
         self.elapsed = 0.0
 
-    def enter_words(self, n_words: int) -> float:
+    def enter_words(self, n_words: int, trace_parent=None) -> float:
         """Simulate entering ``n_words``; returns elapsed seconds."""
         if n_words < 0:
             raise ValueError("word count must be >= 0")
+        retries_before = self.retries
         elapsed = self.modality.activation_s
         for _ in range(n_words):
             wpm = max(
@@ -86,6 +94,12 @@ class TypingSession:
                 elapsed += 60.0 / wpm
             self.words_entered += 1
         self.elapsed += elapsed
+        if self.obs is not None and self.obs.enabled:
+            start = self.obs.now()
+            self.obs.record_span(
+                "input", "input", start, start + elapsed, parent=trace_parent,
+                modality=self.modality.name, words=n_words,
+                retries=self.retries - retries_before)
         return elapsed
 
     @property

@@ -5,17 +5,31 @@ helpers keep that cheap and uniform across subsystems.
 """
 
 from repro.metrics.collector import MetricsRegistry
+from repro.metrics.histogram import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    label_string,
+)
 from repro.metrics.latency import LatencyTracker, StageBudget
 from repro.metrics.qoe import InteractionQoeModel, VideoQoeModel
 from repro.metrics.stats import Summary, bootstrap_ci, summarize
 
 __all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
     "InteractionQoeModel",
     "LatencyTracker",
+    "MetricFamily",
     "MetricsRegistry",
     "StageBudget",
     "Summary",
     "VideoQoeModel",
     "bootstrap_ci",
+    "label_string",
     "summarize",
 ]

@@ -54,6 +54,17 @@ class BlockCode:
         return p * float(others.cdf(self.k - 1))
 
 
+def _payload_ctx(payloads):
+    """First span context found on any payload (``.meta`` or dict key)."""
+    for payload in payloads:
+        meta = getattr(payload, "meta", None)
+        if isinstance(meta, dict) and meta.get("obs_ctx") is not None:
+            return meta["obs_ctx"]
+        if isinstance(payload, dict) and payload.get("obs_ctx") is not None:
+            return payload["obs_ctx"]
+    return None
+
+
 @dataclass
 class _Generation:
     index: int
@@ -122,12 +133,18 @@ class FecDecoder:
         code: BlockCode,
         on_deliver: Callable[[Any], None],
         horizon: int = 64,
+        obs=None,
     ):
         if horizon < 1:
             raise ValueError(f"horizon must be >= 1, got {horizon}")
         self.code = code
         self.on_deliver = on_deliver
         self.horizon = horizon
+        # Optional SpanTracer: each generation recovery records a
+        # ``fec_repair`` span, parented to the first recovered payload's
+        # span context when payloads carry one (``payload.meta["obs_ctx"]``
+        # or a dict payload's ``"obs_ctx"`` key).
+        self.obs = obs
         self._generations: Dict[int, _Generation] = {}
         self._source_payloads: Dict[int, Dict[int, Any]] = {}
         self._watermark = 0  # lowest generation still resident
@@ -181,6 +198,7 @@ class FecDecoder:
     def _recover(self, gen: _Generation) -> None:
         gen.recovered = True
         known = self._source_payloads.get(gen.index, {})
+        recovered = []
         for index in range(self.code.k):
             if index in gen.payloads:
                 continue
@@ -189,7 +207,14 @@ class FecDecoder:
                 continue  # nothing registered; cannot reconstruct content
             gen.payloads[index] = payload
             self.delivered_recovered += 1
+            recovered.append(payload)
             self.on_deliver(payload)
+        if recovered and self.obs is not None and self.obs.enabled:
+            now = self.obs.now()
+            self.obs.record_span(
+                "fec_repair", "net", now, now,
+                parent=_payload_ctx(recovered),
+                generation=gen.index, recovered=len(recovered))
         # Recovery is done; the registered payloads have served their purpose.
         self._source_payloads.pop(gen.index, None)
 

@@ -139,10 +139,26 @@ class Link:
         Returns False if the packet was dropped at the queue (``deliver`` is
         then never invoked; random loss is *not* reported to the sender,
         exactly like a real wire).
+
+        A packet whose ``meta`` carries an ``obs_ctx`` span context gets a
+        child span covering its whole transit (queue wait + serialization
+        + propagation), stage-tagged from ``meta["obs_stage"]`` (default
+        ``"net"``); drops finish the span immediately with an ``outcome``
+        attribute.  With tracing disabled this costs one attribute check.
         """
+        obs = self.sim.obs
+        span = None
+        if obs.enabled:
+            ctx = packet.meta.get("obs_ctx")
+            if ctx is not None:
+                span = obs.start_span(
+                    f"link:{self.name}", packet.meta.get("obs_stage", "net"),
+                    ctx, size=packet.size_bytes, kind=packet.kind)
         self.stats.offered += 1
         if not self._up:
             self.stats.dropped_down += 1
+            if span is not None:
+                span.finish(outcome="drop_down")
             return False
         now = self.sim.now
         wait = max(0.0, self._busy_until - now)
@@ -152,6 +168,8 @@ class Link:
             and self._queued_bytes + packet.size_bytes > self.queue_limit_bytes
         ):
             self.stats.dropped_queue += 1
+            if span is not None:
+                span.finish(outcome="drop_queue")
             return False
 
         serialization = self.serialization_delay(packet)
@@ -190,15 +208,25 @@ class Link:
         self._last_arrival = arrival
         self._in_flight += 1
 
-        def _complete(packet=packet, lost=lost, epoch=epoch):
+        if span is not None:
+            span.attrs["queue_wait_s"] = wait
+            span.attrs["serialization_s"] = serialization
+
+        def _complete(packet=packet, lost=lost, epoch=epoch, span=span):
             if epoch != self._epoch:
+                if span is not None:
+                    span.finish(outcome="drop_outage")
                 return  # dropped by an outage; already counted there
             self._in_flight -= 1
             if lost:
                 self.stats.dropped_loss += 1
+                if span is not None:
+                    span.finish(outcome="drop_loss")
                 return
             self.stats.delivered += 1
             self.stats.bytes_delivered += packet.size_bytes
+            if span is not None:
+                span.finish(outcome="delivered")
             deliver(packet)
 
         self.sim.call_at(arrival, _complete)

@@ -31,7 +31,11 @@ class DatagramChannel:
         size_bytes: int,
         kind: str = "data",
         deliver: Optional[Callable[[Packet], None]] = None,
+        ctx: Any = None,
+        stage: str = "net",
     ) -> Packet:
+        """Fire one datagram; ``ctx`` (a span context) makes the underlying
+        channel record the transit as a ``stage``-tagged child span."""
         packet = Packet(
             src=self.src,
             dst=self.dst,
@@ -40,6 +44,9 @@ class DatagramChannel:
             payload=payload,
             created_at=self.sim.now,
         )
+        if ctx is not None:
+            packet.meta["obs_ctx"] = ctx
+            packet.meta["obs_stage"] = stage
         self.sent += 1
         self.channel.send(packet, deliver if deliver is not None else lambda _p: None)
         return packet
@@ -120,8 +127,15 @@ class ReliableChannel:
         """Dead sequences the receiver has not yet confirmed skipping."""
         return len(self._dead)
 
-    def send(self, payload: Any, size_bytes: int, kind: str = "reliable") -> int:
-        """Queue ``payload`` for reliable delivery; returns its sequence no."""
+    def send(self, payload: Any, size_bytes: int, kind: str = "reliable",
+             ctx: Any = None, stage: str = "net") -> int:
+        """Queue ``payload`` for reliable delivery; returns its sequence no.
+
+        With a span ``ctx``, every wire attempt (the original transmission
+        and each ARQ retry) shows up as a link-transit child span, and
+        retries/declared-dead packets additionally record ``arq_retry`` /
+        ``arq_dead`` marker spans.
+        """
         seq = self._next_seq
         self._next_seq += 1
         packet = Packet(
@@ -133,6 +147,9 @@ class ReliableChannel:
             created_at=self.sim.now,
         )
         packet.meta["seq"] = seq
+        if ctx is not None:
+            packet.meta["obs_ctx"] = ctx
+            packet.meta["obs_stage"] = stage
         self._transmit(seq, packet)
         return seq
 
@@ -162,12 +179,29 @@ class ReliableChannel:
             self._declare_failed(seq, entry)
             return
         self.retransmissions += 1
+        obs = self.sim.obs
+        if obs.enabled:
+            ctx = entry.packet.meta.get("obs_ctx")
+            if ctx is not None:
+                now = self.sim.now
+                obs.record_span(
+                    "arq_retry", entry.packet.meta.get("obs_stage", "net"),
+                    entry.sent_at, now, parent=ctx,
+                    seq=seq, retry=entry.retries)
         self._transmit(seq, entry.packet)
 
     def _declare_failed(self, seq: int, entry: _Outstanding) -> None:
         del self._outstanding[seq]
         self.failed += 1
         self._dead.add(seq)
+        obs = self.sim.obs
+        if obs.enabled:
+            ctx = entry.packet.meta.get("obs_ctx")
+            if ctx is not None:
+                now = self.sim.now
+                obs.record_span(
+                    "arq_dead", entry.packet.meta.get("obs_stage", "net"),
+                    now, now, parent=ctx, seq=seq, retries=entry.retries)
         if self.on_fail is not None:
             self.on_fail(entry.packet.payload, seq)
         self._send_skip(attempt=0)

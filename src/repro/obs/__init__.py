@@ -1,0 +1,63 @@
+"""Cross-layer observability: span tracing and latency attribution.
+
+The paper's Section 3.3 budget argument — interaction latency must stay
+under ~100 ms end to end — is only checkable if the simulator can say
+*where* each pose update's milliseconds went.  This package provides:
+
+* :mod:`repro.obs.span` — ``Span``/``SpanContext``/``SpanTracer``, the
+  sim-clock-stamped tracing core with a zero-allocation no-op path;
+* :mod:`repro.obs.report` — per-stage motion-to-photon attribution over
+  finished traces, budget-violation flagging, fault-window correlation;
+* :mod:`repro.obs.export` — JSON, Prometheus-text, and Chrome
+  ``trace_event`` emitters over the same data;
+* :mod:`repro.obs.harness` — an instrumented probe pipeline wiring a
+  tracker, links, an edge hop, the sync server, and a render pipeline
+  into complete capture-to-photon traces.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    metrics_json,
+    prometheus_text,
+    report_json,
+    write_json,
+)
+from repro.obs.harness import MotionToPhotonHarness, MtpProbeConfig
+from repro.obs.report import (
+    LATENCY_BUDGET_S,
+    MotionToPhotonReport,
+    TraceSummary,
+)
+from repro.obs.span import (
+    MTP_STAGES,
+    NOOP_CONTEXT,
+    NOOP_SPAN,
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    SpanContext,
+    SpanTracer,
+    stage_durations,
+)
+
+__all__ = [
+    "MTP_STAGES",
+    "NOOP_CONTEXT",
+    "NOOP_SPAN",
+    "NOOP_TRACER",
+    "LATENCY_BUDGET_S",
+    "MotionToPhotonHarness",
+    "MotionToPhotonReport",
+    "MtpProbeConfig",
+    "NoopTracer",
+    "Span",
+    "SpanContext",
+    "SpanTracer",
+    "TraceSummary",
+    "chrome_trace",
+    "metrics_json",
+    "prometheus_text",
+    "report_json",
+    "stage_durations",
+    "write_json",
+]

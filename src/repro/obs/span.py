@@ -1,0 +1,308 @@
+"""Span-based causal tracing stamped on the simulation clock.
+
+A *span* is one named, stage-tagged interval ``[start, end)`` belonging to
+a *trace* — the causal chain of everything that happened to one pose
+update (or packet, or frame) on its way through the pipeline.  Contexts
+are tiny value objects that components thread through payload metadata
+(``Packet.meta["obs_ctx"]``, ``ClientUpdate.ctx`` …) so a single update
+carries one trace id from headset capture to photon emission.
+
+Tracing is **opt-in**: every :class:`~repro.simkit.engine.Simulator` owns
+an ``obs`` attribute that defaults to the module-level :data:`NOOP_TRACER`.
+The no-op path allocates nothing — every call returns the shared
+:data:`NOOP_SPAN` singleton — and hot paths additionally guard on
+``sim.obs.enabled`` so they skip building attribute dicts entirely.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+
+#: Canonical stage taxonomy of the motion-to-photon budget, in pipeline
+#: order.  Reports group spans by these names; components are free to add
+#: further stages (e.g. ``tick``, ``net``) which reports list after them.
+MTP_STAGES = (
+    "capture",        # sensor exposure + on-device fusion
+    "uplink",         # client access network, up
+    "edge_compute",   # edge aggregation / avatar generation
+    "wan",            # edge <-> regional server transit
+    "tick_wait",      # update parked until the next server tick
+    "interest_delta", # interest filtering + delta encoding share
+    "downlink",       # server -> client access network, down
+    "render",         # device frame render
+    "vsync",          # wait for the next display refresh
+)
+
+
+class SpanContext:
+    """Immutable identity of one span: ``(trace_id, span_id, parent_id)``."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id")
+
+    def __init__(self, trace_id: int, span_id: int, parent_id: Optional[int]):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SpanContext(trace={self.trace_id}, span={self.span_id}, "
+                f"parent={self.parent_id})")
+
+
+class Span:
+    """One stage-tagged interval of a trace.
+
+    ``end`` is ``None`` while the span is open; :meth:`finish` stamps it
+    and hands the span to its tracer's finished ring.  Attributes are a
+    plain dict — cheap, and exported verbatim by the Chrome emitter.
+    """
+
+    __slots__ = ("name", "stage", "context", "start", "end", "attrs", "_tracer")
+
+    def __init__(self, tracer: "SpanTracer", name: str, stage: str,
+                 context: SpanContext, start: float,
+                 attrs: Optional[Dict[str, Any]] = None):
+        self._tracer = tracer
+        self.name = name
+        self.stage = stage
+        self.context = context
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs = attrs if attrs is not None else {}
+
+    @property
+    def trace_id(self) -> int:
+        return self.context.trace_id
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def finish(self, end: Optional[float] = None, **attrs: Any) -> "Span":
+        """Close the span at ``end`` (default: tracer's now) and record it."""
+        if attrs:
+            self.attrs.update(attrs)
+        self._tracer._finish(self, end)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, stage={self.stage!r}, "
+                f"trace={self.context.trace_id}, start={self.start}, "
+                f"end={self.end})")
+
+
+ParentLike = Union[Span, SpanContext, None]
+
+
+def _parent_context(parent: ParentLike) -> Optional[SpanContext]:
+    if parent is None:
+        return None
+    if isinstance(parent, Span):
+        parent = parent.context
+    if parent.trace_id == 0:  # the no-op context: treat as unparented
+        return None
+    return parent
+
+
+class SpanTracer:
+    """Factory and ring buffer for spans, stamped by an external clock.
+
+    ``clock`` is any zero-argument callable returning seconds — usually
+    ``lambda: sim.now`` (wired automatically by ``Simulator(obs=True)``),
+    or ``time.perf_counter`` for wall-clock benchmark phases.  Finished
+    spans live in a bounded :class:`~collections.deque`; overflow evicts
+    the oldest and is accounted in :attr:`dropped`.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float], limit: int = 200_000):
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        self._clock = clock
+        self.limit = limit
+        self.finished: "deque[Span]" = deque(maxlen=limit)
+        self._finished_total = 0
+        self.open_spans = 0
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+
+    # -- clock ---------------------------------------------------------------
+
+    def now(self) -> float:
+        """The tracer's current timestamp (seconds)."""
+        return self._clock()
+
+    # -- span creation -------------------------------------------------------
+
+    def start_trace(self, name: str, stage: str = "trace",
+                    start: Optional[float] = None, **attrs: Any) -> Span:
+        """Open the root span of a brand-new trace."""
+        context = SpanContext(next(self._trace_ids), next(self._span_ids), None)
+        self.open_spans += 1
+        return Span(self, name, stage, context,
+                    self._clock() if start is None else start, attrs or None)
+
+    def start_span(self, name: str, stage: str, parent: ParentLike,
+                   start: Optional[float] = None, **attrs: Any) -> Span:
+        """Open a child span; with no parent this starts a new trace."""
+        parent_ctx = _parent_context(parent)
+        if parent_ctx is None:
+            return self.start_trace(name, stage, start=start, **attrs)
+        context = SpanContext(parent_ctx.trace_id, next(self._span_ids),
+                              parent_ctx.span_id)
+        self.open_spans += 1
+        return Span(self, name, stage, context,
+                    self._clock() if start is None else start, attrs or None)
+
+    def record_span(self, name: str, stage: str, start: float, end: float,
+                    parent: ParentLike = None, **attrs: Any) -> Span:
+        """Record an already-finished span with explicit ``[start, end)``.
+
+        The workhorse for modeled costs (render time, tick compute shares)
+        where the duration is known analytically rather than observed as
+        two simulator events.
+        """
+        span = self.start_span(name, stage, parent, start=start, **attrs)
+        span.finish(end)
+        return span
+
+    def _finish(self, span: Span, end: Optional[float]) -> None:
+        if span.end is not None:
+            return  # idempotent: double-finish keeps the first stamp
+        span.end = self._clock() if end is None else end
+        if span.end < span.start:
+            raise ValueError(
+                f"span {span.name!r} finishes before it starts "
+                f"({span.end} < {span.start})")
+        self.open_spans -= 1
+        self._finished_total += 1
+        self.finished.append(span)
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Finished spans evicted by the ring-buffer limit."""
+        return self._finished_total - len(self.finished)
+
+    @property
+    def finished_total(self) -> int:
+        """Spans ever finished, including later-evicted ones."""
+        return self._finished_total
+
+    def __len__(self) -> int:
+        return len(self.finished)
+
+    # -- queries -------------------------------------------------------------
+
+    def spans(self, stage: Optional[str] = None) -> List[Span]:
+        """Finished spans in completion order, optionally one stage only."""
+        if stage is None:
+            return list(self.finished)
+        return [span for span in self.finished if span.stage == stage]
+
+    def traces(self) -> Dict[int, List[Span]]:
+        """Finished spans grouped by trace id (insertion-ordered)."""
+        grouped: Dict[int, List[Span]] = {}
+        for span in self.finished:
+            grouped.setdefault(span.context.trace_id, []).append(span)
+        return grouped
+
+    def clear(self) -> None:
+        """Drop all finished spans (drop accounting is reset too)."""
+        self.finished.clear()
+        self._finished_total = 0
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned on every disabled-path call."""
+
+    __slots__ = ()
+
+    name = "noop"
+    stage = "noop"
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+    attrs: Dict[str, Any] = {}
+
+    @property
+    def context(self) -> SpanContext:
+        return NOOP_CONTEXT
+
+    @property
+    def trace_id(self) -> int:
+        return 0
+
+    def finish(self, end: Optional[float] = None, **attrs: Any) -> "_NoopSpan":
+        return self
+
+
+class NoopTracer:
+    """API-compatible tracer that allocates nothing and records nothing.
+
+    Every span-returning call hands back the module-level
+    :data:`NOOP_SPAN` singleton, so instrumentation can run unguarded;
+    hot paths should still branch on :attr:`enabled` to skip building
+    keyword arguments.
+    """
+
+    enabled = False
+    limit = 0
+    dropped = 0
+    finished_total = 0
+    open_spans = 0
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return 0.0
+
+    def start_trace(self, name: str, stage: str = "trace",
+                    start: Optional[float] = None, **attrs: Any) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def start_span(self, name: str, stage: str, parent: ParentLike,
+                   start: Optional[float] = None, **attrs: Any) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def record_span(self, name: str, stage: str, start: float, end: float,
+                    parent: ParentLike = None, **attrs: Any) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def spans(self, stage: Optional[str] = None) -> List[Span]:
+        return []
+
+    def traces(self) -> Dict[int, List[Span]]:
+        return {}
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared no-op context (trace id 0 is reserved and never issued).
+NOOP_CONTEXT = SpanContext(0, 0, None)
+#: Shared no-op span — the only span the disabled path ever returns.
+NOOP_SPAN = _NoopSpan()
+#: Shared no-op tracer — ``Simulator.obs`` when tracing is off.
+NOOP_TRACER = NoopTracer()
+
+
+def stage_durations(spans: Iterable[Span]) -> Dict[str, float]:
+    """Total finished-span seconds per stage (insertion-ordered)."""
+    totals: Dict[str, float] = {}
+    for span in spans:
+        if span.end is None:
+            continue
+        totals[span.stage] = totals.get(span.stage, 0.0) + span.duration
+    return totals

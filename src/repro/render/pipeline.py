@@ -44,27 +44,42 @@ class RenderPipeline:
     refresh window are counted as dropped (the previous frame persists).
     """
 
-    def __init__(self, device: DeviceProfile, display: DisplayModel = DisplayModel()):
+    def __init__(self, device: DeviceProfile, display: DisplayModel = DisplayModel(),
+                 obs=None):
         self.device = device
         self.display = display
+        self.obs = obs  # optional SpanTracer; spans stamped by its clock
         self.motion_to_photon = LatencyTracker("motion_to_photon")
         self.budget = StageBudget()
         self.frames_rendered = 0
         self.frames_dropped = 0
         self._clock = 0.0
 
-    def render_frame(self, triangles: int, sample_age: float = 0.0) -> Optional[float]:
+    def render_frame(self, triangles: int, sample_age: float = 0.0,
+                     trace_parent=None) -> Optional[float]:
         """Account one frame; returns its motion-to-photon time or None.
 
         None means the frame missed its refresh window (render time beyond
         one display period) and was dropped.
+
+        With a span tracer attached and ``trace_parent`` given, the frame
+        records ``render`` and ``vsync`` child spans — the device-side
+        tail of a traced pose update's motion-to-photon budget.  Dropped
+        frames record a zero-length ``render`` span flagged ``dropped``.
         """
         if sample_age < 0:
             raise ValueError("sample age must be >= 0")
+        traced = (self.obs is not None and self.obs.enabled
+                  and trace_parent is not None)
         render_time = self.device.frame_time(triangles)
         if render_time > self.display.frame_period:
             self.frames_dropped += 1
             self._clock += render_time
+            if traced:
+                now = self.obs.now()
+                self.obs.record_span("render", "render", now, now,
+                                     parent=trace_parent, triangles=triangles,
+                                     dropped=True)
             return None
         ready = self._clock + render_time
         vsync_wait = self.display.vsync_wait(ready)
@@ -74,6 +89,14 @@ class RenderPipeline:
         self.motion_to_photon.record(mtp)
         self.frames_rendered += 1
         self._clock = ready + vsync_wait
+        if traced:
+            now = self.obs.now()
+            self.obs.record_span("render", "render", now, now + render_time,
+                                 parent=trace_parent, triangles=triangles,
+                                 device=self.device.name)
+            self.obs.record_span("vsync", "vsync", now + render_time,
+                                 now + render_time + vsync_wait,
+                                 parent=trace_parent)
         return mtp
 
     @property

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Optional
 
 import numpy as np
 
@@ -13,13 +13,20 @@ from repro.simkit.engine import Simulator
 
 @dataclass(frozen=True)
 class PoseSample:
-    """One tracker output."""
+    """One tracker output.
+
+    ``span`` is the root observability span of this sample's trace when
+    the tracker runs with ``trace_samples=True`` (see
+    :mod:`repro.obs.span`); downstream stages parent their spans to it
+    and whoever displays the pose finishes it at photon time.
+    """
 
     time: float
     device_id: str
     pose: Pose
     seq: int
     source: str = "headset"
+    span: Optional[Any] = None
 
 
 class HeadsetTracker:
@@ -48,11 +55,15 @@ class HeadsetTracker:
         drift_rate_m_per_sqrt_s: float = 0.0005,
         dropout: float = 0.0,
         on_sample: Optional[Callable[[PoseSample], None]] = None,
+        trace_samples: bool = False,
+        capture_latency_s: float = 0.004,
     ):
         if rate_hz <= 0:
             raise ValueError("rate must be positive")
         if not 0.0 <= dropout < 1.0:
             raise ValueError(f"dropout must be in [0,1), got {dropout}")
+        if capture_latency_s < 0:
+            raise ValueError("capture latency must be >= 0")
         self.sim = sim
         self.device_id = device_id
         self.truth = truth
@@ -62,6 +73,11 @@ class HeadsetTracker:
         self.drift_rate = float(drift_rate_m_per_sqrt_s)
         self.dropout = float(dropout)
         self.on_sample = on_sample
+        # When True and the simulator has span tracing enabled, every
+        # emitted sample opens a fresh trace whose ``capture`` stage spans
+        # the modeled sensor exposure + on-device fusion time.
+        self.trace_samples = bool(trace_samples)
+        self.capture_latency_s = float(capture_latency_s)
         self._rng = sim.rng.stream(f"headset:{device_id}")
         self._bias = np.zeros(3)
         self._seq = 0
@@ -96,6 +112,14 @@ class HeadsetTracker:
             pose=Pose(noisy_position, noisy_orientation),
             seq=self._seq,
         )
+        obs = self.sim.obs
+        if self.trace_samples and obs.enabled:
+            root = obs.start_trace(
+                "mtp", stage="mtp", device=self.device_id, seq=self._seq)
+            obs.record_span(
+                "capture", "capture", self.sim.now,
+                self.sim.now + self.capture_latency_s, parent=root)
+            sample = replace(sample, span=root)
         self._seq += 1
         self.samples_emitted += 1
         return sample

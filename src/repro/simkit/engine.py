@@ -29,6 +29,13 @@ class Simulator:
     trace:
         If True, keep a structured :class:`~repro.simkit.trace.Tracer` that
         components may record into.
+    obs:
+        Span tracing (see :mod:`repro.obs.span`).  ``True`` attaches a
+        fresh :class:`~repro.obs.span.SpanTracer` stamped by this
+        simulator's clock; an existing tracer is used as-is.  The default
+        leaves :attr:`obs` as the shared no-op tracer, whose calls
+        allocate nothing — instrumented components additionally guard hot
+        paths on ``sim.obs.enabled``.
     """
 
     #: Priority used for ordinary events.
@@ -36,13 +43,23 @@ class Simulator:
     #: Priority for urgent bookkeeping (runs before normal events at a time).
     PRIORITY_URGENT = 0
 
-    def __init__(self, seed: int = 0, trace: bool = False):
+    def __init__(self, seed: int = 0, trace: bool = False, obs=None):
         self._now = 0.0
         self._queue: list = []
         self._sequence = itertools.count()
         self.rng = RngRegistry(seed)
         self.tracer = Tracer(self) if trace else None
         self._active_process: Optional[Process] = None
+        # Imported lazily so the simulation kernel has no import-time
+        # dependency on the (higher-level) observability package.
+        if obs is None or obs is False:
+            from repro.obs.span import NOOP_TRACER
+            self.obs = NOOP_TRACER
+        elif obs is True:
+            from repro.obs.span import SpanTracer
+            self.obs = SpanTracer(clock=lambda: self._now)
+        else:
+            self.obs = obs
 
     # -- clock --------------------------------------------------------------
 

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simkit.engine import Simulator
@@ -27,27 +28,33 @@ class Tracer:
     """Append-only trace log with category filtering.
 
     Keeps at most ``limit`` records (oldest dropped) so long simulations do
-    not grow without bound.
+    not grow without bound.  Backed by a bounded
+    :class:`~collections.deque`, so an overflowing record evicts the
+    oldest in O(1) instead of the O(n) front-trim a list would need.
     """
 
     def __init__(self, sim: "Simulator", limit: int = 100_000):
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
         self.sim = sim
         self.limit = limit
-        self.records: List[TraceRecord] = []
-        self._dropped = 0
+        self.records: "deque[TraceRecord]" = deque(maxlen=limit)
+        self._recorded = 0
 
     def record(self, category: str, message: str, **fields: Any) -> None:
         """Log one record stamped with the current simulation time."""
         self.records.append(TraceRecord(self.sim.now, category, message, fields))
-        if len(self.records) > self.limit:
-            overflow = len(self.records) - self.limit
-            del self.records[:overflow]
-            self._dropped += overflow
+        self._recorded += 1
 
     @property
     def dropped(self) -> int:
         """Records discarded due to the size limit."""
-        return self._dropped
+        return self._recorded - len(self.records)
+
+    @property
+    def recorded(self) -> int:
+        """Records ever logged, including later-dropped ones."""
+        return self._recorded
 
     def select(self, category: Optional[str] = None) -> Iterator[TraceRecord]:
         """Iterate records, optionally restricted to one category."""

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.avatar.state import AvatarState
 from repro.sensing.quantize import QuantizationConfig
@@ -16,11 +16,18 @@ HEADER_BYTES = 24
 
 @dataclass
 class ClientUpdate:
-    """Client → server: the participant's own latest state."""
+    """Client → server: the participant's own latest state.
+
+    ``ctx`` is an optional observability span context (see
+    :mod:`repro.obs.span`); a traced update's journey through tick wait,
+    interest filtering, and delta encoding is attributed to that trace.
+    Contexts are out-of-band bookkeeping and carry no wire bytes.
+    """
 
     client_id: str
     state: AvatarState
     input_seq: int
+    ctx: Optional[Any] = None
 
     @property
     def size_bytes(self) -> int:
@@ -34,6 +41,12 @@ class ServerSnapshot:
     ``full`` snapshots carry every relevant entity (keyframes); delta
     snapshots carry only entities that changed since the client's last
     acknowledged tick, plus a removal list.
+
+    ``trace`` maps a traced entity id to ``(span_context, ready_at)``:
+    the trace the entity's latest update belongs to, and the simulated
+    time its share of the tick compute completes (downstream senders
+    should not ship the snapshot to that trace's observer before it).
+    Like ``ClientUpdate.ctx`` it is out-of-band and adds no wire bytes.
     """
 
     tick: int
@@ -41,6 +54,7 @@ class ServerSnapshot:
     states: List[AvatarState] = field(default_factory=list)
     removed: List[str] = field(default_factory=list)
     full: bool = False
+    trace: Optional[Dict[str, Any]] = None
 
     @property
     def size_bytes(self) -> int:

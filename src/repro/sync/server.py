@@ -87,6 +87,8 @@ class SyncServer:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._subscribers: Dict[str, Callable[[ServerSnapshot], None]] = {}
         self._pending: list = []
+        # Traced updates awaiting the next tick: entity -> (ctx, ingest time).
+        self._traced: Dict[str, tuple] = {}
         self.tick_count = 0
         self._running = False
         self.crashed = False
@@ -122,7 +124,19 @@ class SyncServer:
         """Receive one client update (applied on the next tick)."""
         if self.crashed:
             return  # updates addressed to a dead server vanish
+        if self.sim.obs.enabled and update.ctx is not None:
+            self._traced[update.client_id] = (update.ctx, self.sim.now)
         self._pending.append(update)
+
+    def trace_entity(self, entity_id: str, ctx) -> None:
+        """Attribute the next tick's handling of ``entity_id`` to ``ctx``.
+
+        For ingress paths that bypass :meth:`ingest` (e.g. edge-pushed
+        avatar states applied straight to the world).  No-op when the
+        simulator's span tracer is disabled.
+        """
+        if self.sim.obs.enabled and ctx is not None and not self.crashed:
+            self._traced[entity_id] = (ctx, self.sim.now)
 
     # -- failure model -------------------------------------------------------
 
@@ -139,6 +153,7 @@ class SyncServer:
         self.crash_count += 1
         self._subscribers.clear()
         self._pending.clear()
+        self._traced.clear()
         # Release the running state synchronously: the interrupt below only
         # lands on the next event cascade, but a restart may want to re-arm
         # run() within this one.  The stale token keeps the interrupted
@@ -195,11 +210,38 @@ class SyncServer:
 
     def _do_tick(self) -> float:
         """Run one tick; returns its modeled compute cost."""
+        obs = self.sim.obs
         updates, self._pending = self._pending, []
         for update in updates:
             self.world.apply(update.state)
         positions = self.world.positions()
         relevant_sets, pairs_scanned = self._relevant_sets(positions)
+
+        # Attribute the wait between ingest and this tick to each traced
+        # update, and precompute the per-subscriber compute share so the
+        # interest/delta stage can be budgeted against those traces too.
+        traced: Dict[str, tuple] = {}
+        compute_share = 0.0
+        if obs.enabled:
+            now = self.sim.now
+            if self._traced:
+                traced, self._traced = self._traced, {}
+                for entity_id, (ctx, ingested_at) in traced.items():
+                    obs.record_span(
+                        "tick_wait", "tick_wait", ingested_at, now,
+                        parent=ctx, entity=entity_id, tick=self.tick_count)
+            n_subs = max(1, len(self._subscribers))
+            pairs_for_cost = (
+                pairs_scanned if pairs_scanned is not None
+                else len(self._subscribers) * len(self.world)
+            )
+            compute_share = (
+                self.cost_model.base
+                + self.cost_model.per_update * len(updates)
+                + self.cost_model.per_entity_scan * pairs_for_cost
+            ) / n_subs
+        spanned: set = set()
+
         states_sent = 0
         for client_id, send in self._subscribers.items():
             relevant = relevant_sets[client_id]
@@ -213,6 +255,26 @@ class SyncServer:
                 removed=removed,
                 full=full,
             )
+            if traced:
+                included = {
+                    state.participant_id for state in states
+                    if state.participant_id in traced
+                }
+                if included:
+                    now = self.sim.now
+                    ready_at = now + compute_share + \
+                        self.cost_model.per_state_sent * len(states)
+                    snapshot.trace = {}
+                    for entity_id in included:
+                        ctx, _ingested_at = traced[entity_id]
+                        snapshot.trace[entity_id] = (ctx, ready_at)
+                        if entity_id not in spanned:
+                            spanned.add(entity_id)
+                            obs.record_span(
+                                "interest_delta", "interest_delta",
+                                now, ready_at, parent=ctx,
+                                entity=entity_id, tick=self.tick_count,
+                                states=len(states))
             states_sent += len(states)
             self.metrics.incr("snapshot_bytes", snapshot.size_bytes)
             self.metrics.incr("snapshots_sent")
@@ -221,6 +283,14 @@ class SyncServer:
             len(updates), len(self._subscribers), len(self.world), states_sent,
             pairs_scanned=pairs_scanned,
         )
+        if obs.enabled:
+            now = self.sim.now
+            obs.record_span(
+                "tick", "tick", now, now + cost,
+                server=self.name, tick=self.tick_count,
+                updates=len(updates), states_sent=states_sent,
+                subscribers=len(self._subscribers),
+                pairs_scanned=-1 if pairs_scanned is None else pairs_scanned)
         self.metrics.tracker("tick_cost").record(cost)
         self.metrics.incr("updates_ingested", len(updates))
         if pairs_scanned is not None:

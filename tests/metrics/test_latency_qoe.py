@@ -127,6 +127,9 @@ def test_metrics_snapshot_namespaces_prevent_collisions():
     snapshot = registry.snapshot()
     assert snapshot["counter:gauge:x"] == 5
     assert snapshot["gauge:x"] == 1.0
-    # An empty tracker stays out of the export until it has samples.
+    # An empty tracker still exports its zero count — a scraper can tell
+    # "tracker exists, no samples yet" apart from "tracker missing".
     registry.tracker("idle")
-    assert "tracker:idle:count" not in registry.snapshot()
+    snapshot = registry.snapshot()
+    assert snapshot["tracker:idle:count"] == 0.0
+    assert "tracker:idle:mean" not in snapshot

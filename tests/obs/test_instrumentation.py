@@ -1,0 +1,172 @@
+"""Hot-path instrumentation: contexts survive each hop, spans land.
+
+These tests pin the propagation contract the harness relies on — a span
+context threaded through ``Packet.meta`` / ``ClientUpdate.ctx`` produces
+stage-tagged child spans at every instrumented component — and that the
+disabled path records nothing.
+"""
+
+import pytest
+
+from repro.avatar.state import AvatarState
+from repro.net.geo import WORLD_CITIES
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.net.topology import Site, Topology
+from repro.net.transport import ReliableChannel
+from repro.obs.span import stage_durations
+from repro.render.display import DisplayModel
+from repro.render.pipeline import DEVICE_PROFILES, RenderPipeline
+from repro.sensing.headset import HeadsetTracker
+from repro.sensing.pose import Pose
+from repro.simkit import Simulator
+from repro.sync.protocol import ClientUpdate
+from repro.sync.server import SyncServer
+
+pytestmark = pytest.mark.obs
+
+
+def traced_sim():
+    return Simulator(seed=5, obs=True)
+
+
+def test_link_records_transit_span_with_queue_and_wire_attrs():
+    sim = traced_sim()
+    link = Link(sim, rate_bps=1e6, prop_delay=0.010, name="up")
+    root = sim.obs.start_trace("mtp")
+    packet = Packet(src="a", dst="b", size_bytes=1250, kind="pose",
+                    payload=None, created_at=sim.now,
+                    meta={"obs_ctx": root, "obs_stage": "uplink"})
+    got = []
+    link.send(packet, got.append)
+    sim.run()
+    (span,) = sim.obs.spans("uplink")
+    assert span.name == "link:up"
+    assert span.trace_id == root.trace_id
+    # 1250 B at 1 Mb/s = 10 ms serialization + 10 ms propagation.
+    assert span.duration == pytest.approx(0.020, abs=1e-6)
+    assert span.attrs["size"] == 1250
+    assert got  # the packet still arrived
+
+
+def test_link_drop_finishes_span_with_outcome():
+    sim = traced_sim()
+    link = Link(sim, rate_bps=1e6, prop_delay=0.001, name="down")
+    link.up = False
+    root = sim.obs.start_trace("mtp")
+    packet = Packet(src="a", dst="b", size_bytes=100, kind="pose",
+                    payload=None, created_at=sim.now,
+                    meta={"obs_ctx": root, "obs_stage": "downlink"})
+    assert link.send(packet, lambda p: None) is False
+    (span,) = sim.obs.spans("downlink")
+    assert span.attrs["outcome"] == "drop_down"
+    assert span.duration == 0.0
+
+
+def test_untraced_packet_on_traced_sim_records_nothing():
+    sim = traced_sim()
+    link = Link(sim, rate_bps=1e6, prop_delay=0.001)
+    packet = Packet(src="a", dst="b", size_bytes=100, kind="pose",
+                    payload=None, created_at=sim.now)
+    link.send(packet, lambda p: None)
+    sim.run()
+    assert sim.obs.spans() == []
+
+
+def test_sync_server_attributes_tick_wait_and_interest_delta():
+    sim = traced_sim()
+    server = SyncServer(sim, tick_rate_hz=20.0)
+    snapshots = []
+    server.subscribe("u1", snapshots.append)
+    server.subscribe("u2", lambda s: None)
+    root = sim.obs.start_trace("mtp")
+    state = AvatarState("u2", sim.now, Pose((1.0, 0.0, 0.0)), seq=0)
+    server.ingest(ClientUpdate("u2", state, 0, ctx=root))
+    server.run(duration=0.2)
+    sim.run(until=0.2)
+
+    tick_waits = [s for s in sim.obs.spans("tick_wait")
+                  if s.trace_id == root.trace_id]
+    assert len(tick_waits) == 1
+    assert tick_waits[0].duration <= 1 / 20.0 + 1e-9
+    assert [s.trace_id for s in sim.obs.spans("interest_delta")] \
+        == [root.trace_id]
+    # The traced entity rides the snapshot out-of-band with its ready_at.
+    traced = [s.trace for s in snapshots if s.trace]
+    assert traced and "u2" in traced[0]
+    ctx, ready_at = traced[0]["u2"]
+    assert ctx.trace_id == root.trace_id
+    assert ready_at >= tick_waits[0].end
+
+
+def test_sync_server_crash_clears_pending_trace_contexts():
+    sim = traced_sim()
+    server = SyncServer(sim, tick_rate_hz=20.0)
+    server.subscribe("u1", lambda s: None)
+    root = sim.obs.start_trace("mtp")
+    state = AvatarState("u1", sim.now, Pose((0.0, 0.0, 0.0)), seq=0)
+    server.ingest(ClientUpdate("u1", state, 0, ctx=root))
+    server.crash()
+    server.restart()
+    server.run(duration=0.2)
+    sim.run(until=0.2)
+    # The pre-crash traced update must not resurface after restart.
+    assert sim.obs.spans("tick_wait") == []
+
+
+def test_arq_retries_become_child_spans():
+    sim = traced_sim()
+    topo = Topology(sim)
+    topo.add_site(Site("a", WORLD_CITIES["hkust_cwb"]))
+    topo.add_site(Site("b", WORLD_CITIES["hkust_gz"]))
+    topo.connect("a", "b", rate_bps=100e6, loss_rate=0.4)
+    channel = ReliableChannel(
+        sim, topo.channel("a", "b"), topo.channel("b", "a"), "a", "b",
+        on_deliver=lambda payload: None)
+    root = sim.obs.start_trace("mtp")
+    for i in range(20):
+        channel.send(i, size_bytes=500, ctx=root, stage="wan")
+    sim.run()
+    assert channel.delivered == 20
+    assert channel.retransmissions > 0
+    retry_spans = [s for s in sim.obs.spans("wan") if s.name == "arq_retry"]
+    assert len(retry_spans) == channel.retransmissions
+    assert all(s.trace_id == root.trace_id for s in retry_spans)
+    wire_spans = [s for s in sim.obs.spans("wan") if s.name.startswith("link")]
+    assert len(wire_spans) >= 20 + channel.retransmissions  # retries rewire
+
+
+def test_headset_capture_to_render_chain():
+    sim = traced_sim()
+    samples = []
+    tracker = HeadsetTracker(
+        sim, "u1", lambda t: Pose((t, 0.0, 1.2)), rate_hz=10.0,
+        trace_samples=True, capture_latency_s=0.004,
+        on_sample=samples.append)
+    tracker.run(0.25)
+    sim.run(until=0.3)
+    assert samples and all(s.span is not None for s in samples)
+    capture = sim.obs.spans("capture")
+    assert len(capture) == len(samples)
+    assert all(s.duration == pytest.approx(0.004) for s in capture)
+
+    pipeline = RenderPipeline(
+        DEVICE_PROFILES["standalone_hmd"], DisplayModel(), obs=sim.obs)
+    mtp = pipeline.render_frame(100_000, sample_age=0.010,
+                                trace_parent=samples[0].span)
+    assert mtp is not None
+    totals = stage_durations(sim.obs.spans())
+    assert totals["render"] > 0 and totals["vsync"] >= 0
+    render_span = sim.obs.spans("render")[-1]
+    assert render_span.trace_id == samples[0].span.trace_id
+
+
+def test_disabled_sim_costs_no_spans_anywhere():
+    sim = Simulator(seed=5)
+    server = SyncServer(sim, tick_rate_hz=20.0)
+    server.subscribe("u1", lambda s: None)
+    state = AvatarState("u1", sim.now, Pose((0.0, 0.0, 0.0)), seq=0)
+    server.ingest(ClientUpdate("u1", state, 0, ctx=sim.obs.start_trace("x")))
+    server.run(duration=0.1)
+    sim.run(until=0.1)
+    assert len(sim.obs) == 0 and sim.obs.spans() == []

@@ -1,0 +1,120 @@
+"""Motion-to-photon attribution: coverage, budget flags, fault overlap."""
+
+import pytest
+
+from repro.metrics.collector import MetricsRegistry
+from repro.net.faults import FaultLog
+from repro.obs.report import LATENCY_BUDGET_S, MotionToPhotonReport
+from repro.obs.span import SpanTracer
+
+pytestmark = pytest.mark.obs
+
+
+def make_tracer():
+    return SpanTracer(clock=lambda: 0.0)
+
+
+def trace_with_stages(tracer, start, stages, name="mtp"):
+    """One complete trace whose stage spans tile [start, photon)."""
+    root = tracer.start_trace(name, start=start)
+    t = start
+    for stage, duration in stages:
+        tracer.record_span(stage, stage, t, t + duration, parent=root)
+        t += duration
+    root.finish(t)
+    return root
+
+
+def test_contiguous_stages_give_full_coverage():
+    tracer = make_tracer()
+    trace_with_stages(tracer, 0.0, [("uplink", 0.010), ("wan", 0.030),
+                                    ("downlink", 0.020)])
+    report = MotionToPhotonReport.from_tracer(tracer)
+    assert report.n_traces == 1
+    (summary,) = report.traces
+    assert summary.end_to_end == pytest.approx(0.060)
+    assert summary.coverage == pytest.approx(1.0)
+    assert report.mean_coverage() == pytest.approx(1.0)
+    assert not report.violations()
+
+
+def test_budget_violations_flagged_at_100ms():
+    tracer = make_tracer()
+    trace_with_stages(tracer, 0.0, [("wan", 0.090)])
+    trace_with_stages(tracer, 1.0, [("wan", 0.150)])
+    report = MotionToPhotonReport.from_tracer(tracer)
+    assert LATENCY_BUDGET_S == pytest.approx(0.100)
+    violations = report.violations()
+    assert len(violations) == 1
+    assert violations[0].end_to_end == pytest.approx(0.150)
+    assert report.violation_fraction() == pytest.approx(0.5)
+
+
+def test_incomplete_counts_only_pipeline_traces():
+    tracer = make_tracer()
+    # A trace that entered the pipeline but never photoned: incomplete.
+    root = tracer.start_trace("mtp", start=0.0)
+    tracer.record_span("uplink", "uplink", 0.0, 0.01, parent=root)
+    # Unrelated instrumentation (per-tick server spans): not an MTP trace.
+    tracer.record_span("tick", "tick", 0.0, 0.002)
+    report = MotionToPhotonReport.from_tracer(tracer)
+    assert report.n_traces == 0
+    assert report.incomplete == 1
+
+
+def test_spans_after_photon_are_excluded():
+    tracer = make_tracer()
+    root = trace_with_stages(tracer, 0.0, [("wan", 0.040)])
+    # A late echo (another observer's downlink) after the root closed.
+    tracer.record_span("downlink", "downlink", 0.050, 0.080, parent=root)
+    report = MotionToPhotonReport.from_tracer(tracer)
+    (summary,) = report.traces
+    assert "downlink" not in summary.stages
+    assert summary.coverage == pytest.approx(1.0)
+
+
+def test_stage_order_follows_taxonomy_with_extras_last():
+    tracer = make_tracer()
+    trace_with_stages(tracer, 0.0, [("render", 0.004), ("uplink", 0.010),
+                                    ("custom_stage", 0.001)])
+    report = MotionToPhotonReport.from_tracer(tracer)
+    assert report.stages == ["uplink", "render", "custom_stage"]
+    breakdown = report.breakdown_ms()
+    assert breakdown["uplink"] == pytest.approx(10.0)
+    assert "END-TO-END" in report.table()
+
+
+def test_fault_window_correlation():
+    tracer = make_tracer()
+    early = trace_with_stages(tracer, 0.0, [("wan", 0.050)])
+    during = trace_with_stages(tracer, 10.0, [("wan", 0.300)])
+    log = FaultLog()
+    log.record(9.9, "link_down", "wan:hk")
+    log.record(10.5, "link_up", "wan:hk")
+    log.record(50.0, "server_crash", "tokyo")  # never restarted: open window
+    report = MotionToPhotonReport.from_tracer(tracer)
+    tagged = report.correlate_faults(log)
+    assert early.trace_id not in tagged
+    assert tagged[during.trace_id] == ["link_down:wan:hk"]
+    (faulted,) = [t for t in report.traces if t.faults]
+    assert faulted.trace_id == during.trace_id
+
+
+def test_to_registry_mirrors_attribution():
+    tracer = make_tracer()
+    trace_with_stages(tracer, 0.0, [("uplink", 0.010), ("wan", 0.120)])
+    report = MotionToPhotonReport.from_tracer(tracer)
+    registry = report.to_registry(MetricsRegistry())
+    assert registry.counter("mtp_traces_total") == 1
+    assert registry.counter("mtp_budget_violations") == 1
+    assert registry.gauge("mtp_coverage") == pytest.approx(1.0)
+    assert len(registry.tracker("mtp_stage_wan")) == 1
+    snapshot = registry.snapshot()
+    assert snapshot["tracker:mtp_end_to_end:count"] == 1.0
+
+
+def test_empty_report_renders():
+    report = MotionToPhotonReport([])
+    assert report.n_traces == 0
+    assert report.mean_coverage() == 0.0
+    assert report.table() == "(no complete traces)"

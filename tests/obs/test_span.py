@@ -1,0 +1,148 @@
+"""Span/SpanContext/SpanTracer core semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.span import (
+    MTP_STAGES,
+    NOOP_CONTEXT,
+    NOOP_SPAN,
+    NOOP_TRACER,
+    SpanTracer,
+    stage_durations,
+)
+from repro.simkit import Simulator
+
+pytestmark = pytest.mark.obs
+
+
+def make_tracer():
+    clock = {"t": 0.0}
+    tracer = SpanTracer(clock=lambda: clock["t"])
+    return tracer, clock
+
+
+def test_trace_ids_are_fresh_and_nonzero():
+    tracer, _ = make_tracer()
+    a = tracer.start_trace("mtp")
+    b = tracer.start_trace("mtp")
+    assert a.trace_id != b.trace_id
+    assert a.trace_id != 0 and b.trace_id != 0  # 0 is the no-op sentinel
+    assert a.context.parent_id is None
+
+
+def test_child_spans_share_trace_and_link_parent():
+    tracer, clock = make_tracer()
+    root = tracer.start_trace("mtp", "capture")
+    child = tracer.start_span("link:up", "uplink", root)
+    grandchild = tracer.start_span("arq_retry", "uplink", child.context)
+    assert child.trace_id == root.trace_id == grandchild.trace_id
+    assert child.context.parent_id == root.context.span_id
+    assert grandchild.context.parent_id == child.context.span_id
+    clock["t"] = 1.0
+    for span in (grandchild, child, root):
+        span.finish()
+    assert tracer.traces() == {root.trace_id: [grandchild, child, root]}
+
+
+def test_finish_is_idempotent_and_keeps_first_stamp():
+    tracer, clock = make_tracer()
+    span = tracer.start_trace("mtp")
+    clock["t"] = 2.0
+    span.finish()
+    clock["t"] = 5.0
+    span.finish()
+    assert span.end == 2.0
+    assert len(tracer) == 1  # not re-recorded
+
+
+def test_finish_before_start_raises():
+    tracer, clock = make_tracer()
+    clock["t"] = 3.0
+    span = tracer.start_trace("mtp")
+    with pytest.raises(ValueError):
+        span.finish(1.0)
+
+
+def test_record_span_takes_explicit_interval():
+    tracer, _ = make_tracer()
+    root = tracer.start_trace("mtp", start=0.0)
+    span = tracer.record_span("tick_wait", "tick_wait", 0.25, 0.30,
+                              parent=root, entity="u1")
+    assert span.start == 0.25 and span.end == 0.30
+    assert span.attrs["entity"] == "u1"
+    assert span.duration == pytest.approx(0.05)
+
+
+def test_unparented_child_starts_its_own_trace():
+    tracer, _ = make_tracer()
+    span = tracer.start_span("tick", "tick", None)
+    assert span.context.parent_id is None
+    # Parenting to the no-op context behaves like no parent at all.
+    other = tracer.start_span("tick", "tick", NOOP_CONTEXT)
+    assert other.context.parent_id is None
+    assert other.trace_id != span.trace_id
+
+
+def test_ring_buffer_eviction_is_accounted():
+    clock = {"t": 0.0}
+    tracer = SpanTracer(clock=lambda: clock["t"], limit=3)
+    for _ in range(7):
+        tracer.start_trace("mtp").finish()
+    assert len(tracer) == 3
+    assert tracer.dropped == 4
+    assert tracer.finished_total == 7
+    tracer.clear()
+    assert len(tracer) == 0 and tracer.dropped == 0
+
+
+def test_stage_durations_sums_finished_only():
+    tracer, clock = make_tracer()
+    root = tracer.start_trace("mtp")
+    tracer.record_span("a", "uplink", 0.0, 0.5, parent=root)
+    tracer.record_span("b", "uplink", 1.0, 1.25, parent=root)
+    tracer.record_span("c", "wan", 0.0, 2.0, parent=root)
+    # root is still open: excluded.
+    totals = stage_durations(tracer.spans())
+    assert totals == {"uplink": pytest.approx(0.75), "wan": pytest.approx(2.0)}
+
+
+def test_noop_path_allocates_nothing_and_records_nothing():
+    span = NOOP_TRACER.start_trace("mtp", latency=1.0)
+    assert span is NOOP_SPAN
+    assert NOOP_TRACER.start_span("x", "uplink", span) is NOOP_SPAN
+    assert NOOP_TRACER.record_span("x", "wan", 0.0, 1.0) is NOOP_SPAN
+    assert span.finish(99.0, anything=True) is NOOP_SPAN
+    assert NOOP_TRACER.spans() == [] and len(NOOP_TRACER) == 0
+    assert not NOOP_TRACER.enabled
+    assert span.trace_id == 0
+
+
+def test_simulator_obs_wiring():
+    off = Simulator(seed=1)
+    assert off.obs is NOOP_TRACER
+    on = Simulator(seed=1, obs=True)
+    assert on.obs.enabled
+    span = on.obs.start_trace("mtp")
+    on.run(until=0.5)
+    span.finish()
+    assert span.end == pytest.approx(0.5)  # stamped by the sim clock
+
+
+def test_mtp_stage_taxonomy_is_pipeline_ordered():
+    assert MTP_STAGES[0] == "capture"
+    assert MTP_STAGES[-1] == "vsync"
+    assert len(set(MTP_STAGES)) == len(MTP_STAGES)
+
+
+@settings(max_examples=60, deadline=None)
+@given(limit=st.integers(min_value=1, max_value=40),
+       n_spans=st.integers(min_value=0, max_value=120))
+def test_span_drop_accounting_invariant(limit, n_spans):
+    """kept + dropped == finished_total, kept == min(n, limit)."""
+    tracer = SpanTracer(clock=lambda: 0.0, limit=limit)
+    for _ in range(n_spans):
+        tracer.start_trace("mtp").finish()
+    assert len(tracer) + tracer.dropped == tracer.finished_total == n_spans
+    assert len(tracer) == min(n_spans, limit)

@@ -71,3 +71,33 @@ def test_tracer_ring_limit():
 
 def test_tracer_disabled_by_default():
     assert Simulator().tracer is None
+
+
+def test_tracer_rejects_nonpositive_limit():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Tracer(sim, limit=0)
+
+
+def test_tracer_drop_accounting_property():
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=60, deadline=None)
+    @given(limit=st.integers(min_value=1, max_value=50),
+           n_records=st.integers(min_value=0, max_value=150))
+    def check(limit, n_records):
+        """kept + dropped == recorded, and the newest records survive."""
+        sim = Simulator()
+        tracer = Tracer(sim, limit=limit)
+        for i in range(n_records):
+            tracer.record("cat", f"msg{i}")
+        assert len(tracer.records) + tracer.dropped == tracer.recorded
+        assert tracer.recorded == n_records
+        assert len(tracer.records) == min(n_records, limit)
+        if n_records:
+            assert tracer.records[-1].message == f"msg{n_records - 1}"
+        if n_records > limit:
+            assert tracer.records[0].message == f"msg{n_records - limit}"
+
+    check()

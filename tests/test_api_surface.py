@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.media",
     "repro.metrics",
     "repro.net",
+    "repro.obs",
     "repro.render",
     "repro.sensing",
     "repro.sickness",
