@@ -29,15 +29,31 @@ class RegionalPlan:
     def rtt_array(self) -> np.ndarray:
         return np.array(sorted(self.rtts.values()))
 
+    def _require_rtts(self, statistic: str) -> np.ndarray:
+        rtts = self.rtt_array()
+        if rtts.size == 0:
+            raise ValueError(
+                f"{statistic} is undefined: the plan has no user RTTs "
+                "(zero remote users)")
+        return rtts
+
     def mean_rtt(self) -> float:
-        return float(self.rtt_array().mean())
+        """Mean user RTT; raises ``ValueError`` when the plan has no users."""
+        return float(self._require_rtts("mean_rtt").mean())
 
     def p95_rtt(self) -> float:
-        return float(np.percentile(self.rtt_array(), 95.0))
+        """95th-percentile user RTT; raises ``ValueError`` with no users."""
+        return float(np.percentile(self._require_rtts("p95_rtt"), 95.0))
 
     def fraction_above(self, threshold_s: float) -> float:
-        """Fraction of users whose RTT exceeds ``threshold_s``."""
+        """Fraction of users whose RTT exceeds ``threshold_s``.
+
+        Well-defined for an empty plan: with zero remote users, zero of
+        them (0.0) are above any threshold — not NaN.
+        """
         rtts = self.rtt_array()
+        if rtts.size == 0:
+            return 0.0
         return float((rtts > threshold_s).mean())
 
 

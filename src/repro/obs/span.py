@@ -31,6 +31,7 @@ MTP_STAGES = (
     "wan",            # edge <-> regional server transit
     "tick_wait",      # update parked until the next server tick
     "interest_delta", # interest filtering + delta encoding share
+    "shard_relay",    # inter-shard federation link transit (cross-region)
     "downlink",       # server -> client access network, down
     "render",         # device frame render
     "vsync",          # wait for the next display refresh

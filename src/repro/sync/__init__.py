@@ -12,6 +12,13 @@ the scaling experiments (C3a) measure.
 from repro.sync.client import SyncClient
 from repro.sync.consistency import ConsistencyProbe
 from repro.sync.delta import DeltaEncoder, WorldState
+from repro.sync.federation import (
+    FederatedClient,
+    ShardDelta,
+    ShardedSyncService,
+    ShardHandoffController,
+    ShardRelay,
+)
 from repro.sync.interest import (
     BroadcastInterest,
     InterestConfig,
@@ -23,12 +30,13 @@ from repro.sync.migration import FailoverController, MigratableClient
 from repro.sync.prediction import MoveInput, PredictedAvatar
 from repro.sync.protocol import ClientUpdate, ServerSnapshot
 from repro.sync.server import ServerCostModel, SyncServer
-from repro.sync.timesync import NtpSynchronizer
+from repro.sync.timesync import NtpSynchronizer, TimeSyncError
 
 __all__ = [
     "BroadcastInterest",
     "ClientUpdate",
     "FailoverController",
+    "FederatedClient",
     "MigratableClient",
     "MoveInput",
     "PredictedAvatar",
@@ -38,10 +46,15 @@ __all__ = [
     "InterestManager",
     "NtpSynchronizer",
     "ServerCostModel",
+    "ShardDelta",
+    "ShardedSyncService",
+    "ShardHandoffController",
+    "ShardRelay",
     "SpatialHashGrid",
     "naive_relevant",
     "ServerSnapshot",
     "SyncClient",
     "SyncServer",
+    "TimeSyncError",
     "WorldState",
 ]

@@ -103,6 +103,19 @@ class SyncClient:
     def known_entities(self) -> list:
         return sorted(self._buffers)
 
+    def latest_states(self) -> Dict[str, AvatarState]:
+        """Newest received state per known remote entity (no interpolation).
+
+        The raw replica view — what the convergence tests compare against
+        the single-server oracle, independent of render-time smoothing.
+        """
+        result = {}
+        for entity_id, buffer in self._buffers.items():
+            state = buffer.latest
+            if state is not None:
+                result[entity_id] = state
+        return result
+
     def remote_states(self, now: Optional[float] = None) -> Dict[str, AvatarState]:
         """Interpolated state of every known remote entity."""
         at = self.sim.now if now is None else now

@@ -1,0 +1,689 @@
+"""Federated regional sync shards with cross-shard interest relay.
+
+Section 3.3's answer to worldwide scale is **regional servers**: WAN
+round-trips in the hundreds of milliseconds make one authoritative
+server untenable, so each user syncs against a nearby shard.  Before
+this module the repo only *planned* regions (`cloud.regions.plan_regions`
+picks k sites); nothing served users from them.  :class:`ShardedSyncService`
+closes that gap: one :class:`~repro.sync.server.SyncServer` per site of a
+:class:`~repro.cloud.regions.RegionalPlan`, per-user access links and
+per-site-pair inter-shard links whose delays come from the
+:class:`~repro.net.latency.WanLatencyModel`, and a federation protocol
+that keeps every client's view consistent:
+
+* each client's :class:`~repro.sync.protocol.ClientUpdate` routes to its
+  *home* shard over its access link;
+* every directed shard pair runs a :class:`ShardRelay` that periodically
+  forwards a **delta stream** of the entities homed on the source shard
+  that are relevant to any subscriber homed on the destination shard
+  (computed with the same :class:`~repro.sync.interest.InterestManager`
+  policy the shards use, delta-encoded by a
+  :class:`~repro.sync.delta.DeltaEncoder` so only changed states cross
+  the WAN); forwarded states materialize as *ghost* entities in the
+  destination world, where the destination shard's own interest/delta
+  tick serves them to its subscribers;
+* relays piggyback a *subscriber digest* (the positions of the home
+  subscribers of the sending shard) so the reverse relay knows which
+  remote subjects to compute relevance for — interest aggregation is
+  message-passing, never shared memory.
+
+Because the nearest-k interest policy is monotone under restriction (an
+entity in the full-world nearest-k of a subject is in the nearest-k of
+any candidate subset containing it), the ghost set at a shard always
+contains every entity the single-server oracle would deem relevant to
+its subscribers, and each shard's tick then reproduces the oracle's
+relevant sets exactly — the `federation` property tests pin this.
+
+**Cross-shard handoff** is the live version of the plan's reassignment:
+:class:`ShardHandoffController` arms one
+:class:`~repro.sync.migration.FailoverController` per client (standbys
+ordered nearest-first), watches for shard crashes
+(:class:`~repro.net.faults.ServerCrashSchedule` compatible) and re-homes
+the dead shard's users through
+:func:`~repro.cloud.regions.reassign_after_outage`, while voluntary
+moves (:meth:`ShardedSyncService.move_user`) and placement rebalances
+(:meth:`ShardedSyncService.rebalance`, built on
+``plan_regions(exclude=)``) ride the make-before-break
+:class:`~repro.sync.migration.MigratableClient` path.  Either way the
+client's blackout is bounded by detection + handover + first keyframe.
+
+Observability: relay packets carry ``obs_ctx``/``obs_stage`` metadata,
+so a traced update that crosses shards gets a ``shard_relay`` stage span
+from the inter-shard :class:`~repro.net.link.Link` and its remote
+``tick_wait``/``interest_delta`` attribution continues at the
+destination shard (`SyncServer.trace_entity`).  The motion-to-photon
+report then shows shard-relay latency as its own budget line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.cloud.regions import (
+    RegionalPlan,
+    plan_regions,
+    reassign_after_outage,
+)
+from repro.metrics.collector import MetricsRegistry
+from repro.net.geo import CITY_REGIONS, WORLD_CITIES
+from repro.net.latency import WanLatencyModel
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sensing.quantize import QuantizationConfig
+from repro.simkit.engine import Simulator
+from repro.sync.client import SyncClient
+from repro.sync.delta import DeltaEncoder
+from repro.sync.interest import InterestConfig, InterestManager
+from repro.sync.migration import FailoverController, MigratableClient
+from repro.sync.protocol import HEADER_BYTES, ClientUpdate, ServerSnapshot
+from repro.sync.server import ServerCostModel, SyncServer
+
+_QUANT = QuantizationConfig()
+_ORIGIN = np.zeros(3)
+
+#: Wire bytes per subscriber-digest entry: 8-byte id hash + 3 x 4-byte
+#: quantized coordinates.
+DIGEST_ENTRY_BYTES = 20
+
+
+@dataclass
+class ShardDelta:
+    """One relay message between shards: delta states + subscriber digest.
+
+    ``states``/``removed`` are the delta stream of source-homed entities
+    relevant to the destination's subscribers; ``subscribers`` is the
+    source shard's home-subscriber position digest (the reverse relay's
+    interest subjects).  ``trace`` maps traced entity ids to their span
+    contexts — out-of-band observability bookkeeping, no wire bytes.
+    """
+
+    src_site: str
+    dst_site: str
+    seq: int
+    states: List[Any] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+    subscribers: Dict[str, np.ndarray] = field(default_factory=dict)
+    full: bool = False
+    trace: Optional[Dict[str, Any]] = None
+
+    @property
+    def size_bytes(self) -> int:
+        size = HEADER_BYTES
+        size += sum(state.wire_bytes(_QUANT) for state in self.states)
+        size += 8 * len(self.removed)
+        size += DIGEST_ENTRY_BYTES * len(self.subscribers)
+        return size
+
+
+class ShardRelay:
+    """The directed federation pipe from one shard to another.
+
+    Every firing recomputes which source-homed entities any destination
+    subscriber cares about (one batch interest query against the latest
+    digest received from the other side), delta-encodes the answer
+    against what this relay last forwarded, and ships the result plus
+    the source's own subscriber digest over the inter-shard link.
+    """
+
+    def __init__(
+        self,
+        service: "ShardedSyncService",
+        src_site: str,
+        dst_site: str,
+        link: Link,
+        interest: InterestManager,
+        encoder: DeltaEncoder,
+    ):
+        self.service = service
+        self.src_site = src_site
+        self.dst_site = dst_site
+        self.link = link
+        self.interest = interest
+        self.encoder = encoder
+        #: Latest digest from the destination: its home subscribers'
+        #: positions, the subjects this relay computes relevance for.
+        self.remote_subjects: Dict[str, np.ndarray] = {}
+        self.seq = 0
+        self.deltas_sent = 0
+        self.states_forwarded = 0
+        self.bytes_sent = 0
+
+    def fire(self) -> Optional[ShardDelta]:
+        """One relay round; returns the delta sent (None when idle)."""
+        service = self.service
+        src = service.shards[self.src_site]
+        if src.crashed:
+            return None
+        local = service.local_entities(self.src_site)
+        relevant: Set[str] = set()
+        if self.remote_subjects and local:
+            positions = {
+                entity_id: state.pose.position
+                for entity_id, state in local.items()
+            }
+            for subject_set in self.interest.relevant_batch(
+                    positions, self.remote_subjects).values():
+                relevant |= subject_set
+        states, removed, full = self.encoder.encode(
+            self.dst_site, src.world, relevant)
+        digest = service.home_subscriber_digest(self.src_site)
+        if not states and not removed and not digest:
+            return None
+        delta = ShardDelta(
+            src_site=self.src_site,
+            dst_site=self.dst_site,
+            seq=self.seq,
+            states=[state.copy() for state in states],
+            removed=removed,
+            subscribers=digest,
+            full=full,
+        )
+        self.seq += 1
+        packet = Packet(
+            src=self.src_site, dst=self.dst_site,
+            size_bytes=max(1, delta.size_bytes),
+            kind="shard_delta", payload=delta,
+            created_at=service.sim.now,
+        )
+        if service.sim.obs.enabled:
+            traced = {
+                state.participant_id: service._traced[state.participant_id]
+                for state in states
+                if state.participant_id in service._traced
+            }
+            if traced:
+                delta.trace = traced
+                packet.meta["obs_ctx"] = next(iter(traced.values()))
+                packet.meta["obs_stage"] = "shard_relay"
+        self.deltas_sent += 1
+        self.states_forwarded += len(states)
+        self.bytes_sent += delta.size_bytes
+        self.link.send(packet, service._on_shard_delta_packet)
+        return delta
+
+
+@dataclass
+class FederatedClient:
+    """One service-managed client: sync state plus its migration shim."""
+
+    user_id: str
+    client: SyncClient
+    migratable: MigratableClient
+
+    @property
+    def home(self) -> str:
+        """The site currently serving this client."""
+        return self.migratable.current_server.name
+
+
+class ShardedSyncService:
+    """A federation of regional :class:`SyncServer` shards over one plan.
+
+    Parameters
+    ----------
+    sim:
+        The shared simulator.
+    plan:
+        Site choice and user→site assignment (usually from
+        :func:`~repro.cloud.regions.plan_regions`).  Hand-built plans
+        with virtual site names are accepted: unknown sites fall back to
+        ``default_inter_shard_delay`` / ``default_access_delay``.
+    population:
+        Optional :class:`~repro.workload.population.RemotePopulation`
+        providing user geography, used for cross-site access delays and
+        crash-time reassignment.  Without it access delays fall back to
+        the plan's recorded RTTs.
+    model:
+        WAN latency model for link propagation delays (jitter-free
+        sampling, so the federation is a pure function of the seed).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        plan: RegionalPlan,
+        population=None,
+        model: Optional[WanLatencyModel] = None,
+        *,
+        tick_rate_hz: float = 20.0,
+        relay_rate_hz: Optional[float] = None,
+        interest_config: Optional[InterestConfig] = None,
+        cost_model: ServerCostModel = ServerCostModel(),
+        keyframe_interval: int = 30,
+        inter_shard_rate_bps: float = 1e9,
+        access_rate_bps: float = 50e6,
+        default_inter_shard_delay: float = 0.02,
+        default_access_delay: float = 0.005,
+        name: str = "fed",
+    ):
+        if not plan.sites:
+            raise ValueError("plan has no sites")
+        if len(set(plan.sites)) != len(plan.sites):
+            raise ValueError(f"duplicate sites in plan: {plan.sites}")
+        if relay_rate_hz is not None and relay_rate_hz <= 0:
+            raise ValueError("relay rate must be positive")
+        self.sim = sim
+        self.plan = plan
+        self.population = population
+        self.model = model if model is not None else WanLatencyModel()
+        self.name = name
+        self.interest_config = (
+            interest_config if interest_config is not None else InterestConfig()
+        )
+        self.access_rate_bps = float(access_rate_bps)
+        self.default_inter_shard_delay = float(default_inter_shard_delay)
+        self.default_access_delay = float(default_access_delay)
+        self.relay_period = 1.0 / (
+            relay_rate_hz if relay_rate_hz is not None else tick_rate_hz
+        )
+        self.metrics = MetricsRegistry()
+        self.users = {
+            user.user_id: user for user in getattr(population, "users", [])
+        }
+        self.home: Dict[str, str] = dict(plan.assignment)
+        #: Which shard an entity is authoritative on.  Ghost copies in
+        #: other shards' worlds keep their original home, which is what
+        #: stops a relay from echoing a ghost back to where it came from.
+        self.entity_home: Dict[str, str] = {}
+        self.clients: Dict[str, FederatedClient] = {}
+        self.shards: Dict[str, SyncServer] = {
+            site: SyncServer(
+                sim, name=site, tick_rate_hz=tick_rate_hz,
+                interest=InterestManager(self.interest_config),
+                cost_model=cost_model, keyframe_interval=keyframe_interval,
+            )
+            for site in plan.sites
+        }
+        self.relays: Dict[Tuple[str, str], ShardRelay] = {}
+        for src in plan.sites:
+            for dst in plan.sites:
+                if src == dst:
+                    continue
+                link = Link(
+                    sim, inter_shard_rate_bps,
+                    self._inter_shard_delay(src, dst),
+                    name=f"{name}:{src}->{dst}",
+                )
+                self.relays[(src, dst)] = ShardRelay(
+                    self, src, dst, link,
+                    interest=InterestManager(self.interest_config),
+                    encoder=DeltaEncoder(keyframe_interval=keyframe_interval),
+                )
+        self._access_links: Dict[Tuple[str, str, str], Link] = {}
+        #: Latest span context per traced entity (obs enabled only).
+        self._traced: Dict[str, Any] = {}
+
+    # -- geography ---------------------------------------------------------
+
+    def _inter_shard_delay(self, a: str, b: str) -> float:
+        if a in WORLD_CITIES and b in WORLD_CITIES:
+            return self.model.one_way_delay(
+                WORLD_CITIES[a], WORLD_CITIES[b],
+                CITY_REGIONS[a], CITY_REGIONS[b], sample_jitter=False,
+            )
+        return self.default_inter_shard_delay
+
+    def access_delay(self, user_id: str, site: str) -> float:
+        """One-way user ↔ site delay (jitter-free, so it replays)."""
+        user = self.users.get(user_id)
+        if user is not None and site in WORLD_CITIES:
+            return self.model.one_way_delay(
+                user.geo, WORLD_CITIES[site],
+                user.region, CITY_REGIONS[site], sample_jitter=False,
+            )
+        rtt = self.plan.rtts.get(user_id)
+        if rtt is not None:
+            return rtt / 2.0
+        return self.default_access_delay
+
+    def _access_link(self, user_id: str, site: str, direction: str) -> Link:
+        key = (user_id, site, direction)
+        link = self._access_links.get(key)
+        if link is None:
+            arrow = "->" if direction == "up" else "<-"
+            link = Link(
+                self.sim, self.access_rate_bps,
+                self.access_delay(user_id, site),
+                name=f"{self.name}:{user_id}{arrow}{site}",
+            )
+            self._access_links[key] = link
+        return link
+
+    # -- membership --------------------------------------------------------
+
+    def add_client(
+        self,
+        user_id: str,
+        update_rate_hz: float = 20.0,
+        interpolation_delay: float = 0.1,
+    ) -> FederatedClient:
+        """Attach one remote user to their assigned home shard."""
+        if user_id in self.clients:
+            raise ValueError(f"client {user_id!r} already added")
+        site = self.home.get(user_id)
+        if site is None:
+            raise KeyError(f"user {user_id!r} is not in the plan's assignment")
+        client = SyncClient(
+            self.sim, user_id,
+            transmit=lambda update: self.route_update(user_id, update),
+            update_rate_hz=update_rate_hz,
+            interpolation_delay=interpolation_delay,
+        )
+        migratable = MigratableClient(
+            self.sim, client, self.shards[site],
+            self._downlink_path(site, user_id),
+        )
+        federated = FederatedClient(user_id, client, migratable)
+        self.clients[user_id] = federated
+        return federated
+
+    def move_user(self, user_id: str, new_site: str) -> None:
+        """Voluntary make-before-break handoff (the user moved regions)."""
+        if new_site not in self.shards:
+            raise KeyError(f"unknown site {new_site!r}")
+        federated = self.clients[user_id]
+        federated.migratable.migrate(
+            self.shards[new_site], self._downlink_path(new_site, user_id))
+        self.home[user_id] = new_site
+        self.plan.assignment[user_id] = new_site
+        self.plan.rtts[user_id] = 2.0 * self.access_delay(user_id, new_site)
+        self.metrics.incr("handoffs_voluntary")
+
+    def adopt_plan(self, plan: RegionalPlan) -> None:
+        """Take over a reassigned plan (routing follows immediately)."""
+        self.plan = plan
+        self.home.update(plan.assignment)
+
+    def rebalance(self, exclude: Sequence[str] = ()) -> RegionalPlan:
+        """From-scratch placement around ``exclude`` d sites.
+
+        Runs :func:`~repro.cloud.regions.plan_regions` with the current
+        site set as candidates, excluded/crashed sites removed, then
+        migrates every attached client whose assignment changed
+        (make-before-break).  Requires the remote population.
+        """
+        if self.population is None:
+            raise RuntimeError("rebalance requires the remote population")
+        excluded = set(exclude) | {
+            site for site, shard in self.shards.items() if shard.crashed
+        }
+        survivors = [site for site in self.shards if site not in excluded]
+        if not survivors:
+            raise ValueError("every site is excluded or crashed")
+        new_plan = plan_regions(
+            self.population, k=len(survivors), model=self.model,
+            candidates=list(self.shards), exclude=tuple(excluded),
+        )
+        self.adopt_plan(new_plan)
+        for user_id, site in new_plan.assignment.items():
+            federated = self.clients.get(user_id)
+            if federated is not None and federated.home != site \
+                    and not self.shards[federated.home].crashed:
+                self.move_user(user_id, site)
+        return new_plan
+
+    # -- data path ------------------------------------------------------------
+
+    def route_update(self, user_id: str, update: ClientUpdate) -> None:
+        """Carry one client update to its home shard over the access link."""
+        federated = self.clients.get(user_id)
+        site = federated.home if federated is not None else self.home[user_id]
+        self.home[user_id] = site
+        self.entity_home[update.client_id] = site
+        shard = self.shards[site]
+        if self.sim.obs.enabled and update.ctx is not None:
+            self._traced[update.client_id] = update.ctx
+        packet = Packet(
+            src=user_id, dst=site,
+            size_bytes=max(1, update.size_bytes),
+            kind="client_update", payload=update, created_at=self.sim.now,
+        )
+        if self.sim.obs.enabled and update.ctx is not None:
+            packet.meta["obs_ctx"] = update.ctx
+            packet.meta["obs_stage"] = "wan"
+        self._access_link(user_id, site, "up").send(
+            packet, lambda p: shard.ingest(p.payload))
+
+    def ingest_local(self, site: str, update: ClientUpdate) -> None:
+        """Server-side ingress for entities co-located with a shard
+        (instructor consoles, NPC drivers): no access link, but the
+        entity is homed so relays will federate it."""
+        if site not in self.shards:
+            raise KeyError(f"unknown site {site!r}")
+        self.entity_home[update.client_id] = site
+        if self.sim.obs.enabled and update.ctx is not None:
+            self._traced[update.client_id] = update.ctx
+        self.shards[site].ingest(update)
+
+    def _downlink_path(
+        self, site: str, user_id: str
+    ) -> Callable[[ServerSnapshot], None]:
+        def path(snapshot: ServerSnapshot) -> None:
+            packet = Packet(
+                src=site, dst=user_id,
+                size_bytes=max(1, snapshot.size_bytes),
+                kind="snapshot", payload=snapshot, created_at=self.sim.now,
+            )
+            if self.sim.obs.enabled and snapshot.trace:
+                ctx, _ready_at = next(iter(snapshot.trace.values()))
+                packet.meta["obs_ctx"] = ctx
+                packet.meta["obs_stage"] = "downlink"
+            self._access_link(user_id, site, "down").send(
+                packet,
+                lambda p: self._deliver_snapshot(user_id, site, p.payload))
+        return path
+
+    def _deliver_snapshot(
+        self, user_id: str, site: str, snapshot: ServerSnapshot
+    ) -> None:
+        federated = self.clients.get(user_id)
+        if federated is not None:
+            federated.migratable.note_snapshot(snapshot, origin=site)
+
+    # -- federation ------------------------------------------------------------
+
+    def local_entities(self, site: str) -> Dict[str, Any]:
+        """Entities authoritative on ``site`` (ghost copies excluded)."""
+        world = self.shards[site].world
+        return {
+            entity_id: state
+            for entity_id, state in world.entities.items()
+            if self.entity_home.get(entity_id) == site
+        }
+
+    def home_subscriber_digest(self, site: str) -> Dict[str, np.ndarray]:
+        """Positions of the clients homed on ``site`` (relay subjects).
+
+        Clients that have not yet published an entity query from the
+        origin — matching what the shard's own tick assumes for a
+        subscriber without a world entity.
+        """
+        world = self.shards[site].world
+        digest: Dict[str, np.ndarray] = {}
+        for user_id, federated in self.clients.items():
+            if federated.home != site:
+                continue
+            state = world.entities.get(user_id)
+            digest[user_id] = (
+                state.pose.position if state is not None else _ORIGIN
+            )
+        return digest
+
+    def _on_shard_delta_packet(self, packet: Packet) -> None:
+        delta: ShardDelta = packet.payload
+        reverse = self.relays.get((delta.dst_site, delta.src_site))
+        if reverse is not None:
+            reverse.remote_subjects = dict(delta.subscribers)
+        shard = self.shards.get(delta.dst_site)
+        if shard is None or shard.crashed:
+            return
+        for state in delta.states:
+            shard.world.apply(state)
+        for entity_id in delta.removed:
+            if self.entity_home.get(entity_id) == delta.src_site:
+                shard.world.remove(entity_id)
+        if delta.trace and self.sim.obs.enabled:
+            for entity_id, ctx in delta.trace.items():
+                shard.trace_entity(entity_id, ctx)
+        self.metrics.incr("shard_deltas_delivered")
+        self.metrics.incr("shard_states_applied", len(delta.states))
+
+    def _relay_process(self, relay: ShardRelay, duration: float):
+        def body():
+            end = self.sim.now + duration
+            while self.sim.now < end - 1e-12:
+                relay.fire()
+                delay = self.relay_period
+                if self.sim.now + delay > end:
+                    delay = max(0.0, end - self.sim.now)
+                yield self.sim.timeout(delay)
+
+        return self.sim.process(body())
+
+    def start(self, duration: float) -> list:
+        """Arm every shard's tick loop and every relay for ``duration``."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        processes = [
+            shard.run(duration=duration) for shard in self.shards.values()
+        ]
+        for key in sorted(self.relays):
+            processes.append(self._relay_process(self.relays[key], duration))
+        return processes
+
+    # -- measurement ----------------------------------------------------------
+
+    @property
+    def sites(self) -> List[str]:
+        return list(self.shards)
+
+    def relay_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-directed-pair relay counters (deltas, states, bytes)."""
+        return {
+            f"{src}->{dst}": {
+                "deltas_sent": relay.deltas_sent,
+                "states_forwarded": relay.states_forwarded,
+                "bytes_sent": relay.bytes_sent,
+                "link_delivered": relay.link.stats.delivered,
+            }
+            for (src, dst), relay in self.relays.items()
+        }
+
+    def shard_tick_costs(self) -> Dict[str, float]:
+        """Mean modeled tick cost per shard (seconds)."""
+        costs: Dict[str, float] = {}
+        for site, shard in self.shards.items():
+            tracker = shard.metrics.tracker("tick_cost")
+            summary = tracker.summary()
+            costs[site] = summary.mean if summary.count else 0.0
+        return costs
+
+
+class ShardHandoffController:
+    """Crash-driven re-homing across the federation.
+
+    One :class:`~repro.sync.migration.FailoverController` per client
+    watches snapshot freshness (the only signal a client has); standbys
+    are every other shard, nearest first.  A service-side watcher polls
+    shard health and, when a shard dies, rewrites the plan through
+    :func:`~repro.cloud.regions.reassign_after_outage` (falling back to
+    nearest-by-link-delay without a population) so future routing and
+    late joiners land on surviving shards.  The measurable outcome is
+    each affected client's bounded blackout
+    (:attr:`MigratableClient.blackout_s`).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        service: ShardedSyncService,
+        detection_timeout: float = 0.3,
+        check_period: float = 0.05,
+    ):
+        if detection_timeout <= 0 or check_period <= 0:
+            raise ValueError("detection_timeout and check_period must be positive")
+        self.sim = sim
+        self.service = service
+        self.detection_timeout = detection_timeout
+        self.check_period = check_period
+        self.controllers: Dict[str, FailoverController] = {}
+        self.dead_sites: List[str] = []
+        self.events: List[Tuple[float, str, str]] = []
+
+    def arm_failover(self) -> None:
+        """Create the per-client failure detectors and standby queues."""
+        service = self.service
+        for user_id, federated in service.clients.items():
+            controller = FailoverController(
+                self.sim, federated.migratable,
+                detection_timeout=self.detection_timeout,
+                check_period=self.check_period,
+            )
+            standbys = sorted(
+                (site for site in service.shards if site != federated.home),
+                key=lambda site: (service.access_delay(user_id, site), site),
+            )
+            for site in standbys:
+                controller.add_standby(
+                    service.shards[site],
+                    service._downlink_path(site, user_id))
+            self.controllers[user_id] = controller
+
+    def _rehome_dead_site(self, dead_site: str) -> None:
+        service = self.service
+        if service.population is not None and \
+                dead_site in service.plan.sites and len(service.plan.sites) > 1:
+            new_plan = reassign_after_outage(
+                service.plan, dead_site, service.population, service.model)
+            service.adopt_plan(new_plan)
+        else:
+            survivors = [
+                site for site, shard in service.shards.items()
+                if not shard.crashed
+            ]
+            if not survivors:
+                return
+            for user_id, site in list(service.home.items()):
+                if site == dead_site:
+                    service.home[user_id] = min(
+                        survivors,
+                        key=lambda s: (service.access_delay(user_id, s), s))
+        service.metrics.incr("handoffs_crash")
+        self.events.append((self.sim.now, "rehome", dead_site))
+
+    def run(self, duration: float) -> list:
+        """Start every failure detector plus the shard-health watcher."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if not self.controllers:
+            self.arm_failover()
+        processes = [
+            controller.run(duration)
+            for _user, controller in sorted(self.controllers.items())
+        ]
+
+        def watcher():
+            end = self.sim.now + duration
+            while self.sim.now < end - 1e-12:
+                for site, shard in self.service.shards.items():
+                    if shard.crashed and site not in self.dead_sites:
+                        self.dead_sites.append(site)
+                        self._rehome_dead_site(site)
+                delay = self.check_period
+                if self.sim.now + delay > end:
+                    delay = max(0.0, end - self.sim.now)
+                yield self.sim.timeout(delay)
+
+        processes.append(self.sim.process(watcher()))
+        return processes
+
+    def blackouts(self) -> Dict[str, Optional[float]]:
+        """Measured blackout per client that failed over (None: none yet)."""
+        return {
+            user_id: federated.migratable.blackout_s
+            for user_id, federated in self.service.clients.items()
+            if federated.migratable.failovers > 0
+        }

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cloud.regions import plan_regions, single_server_plan
+from repro.cloud.regions import RegionalPlan, plan_regions, single_server_plan
 from repro.cloud.server import CloudClassroomServer
 from repro.simkit import Simulator
 from repro.sync.client import SyncClient
@@ -47,6 +47,26 @@ def test_region_plan_validation():
     from repro.workload.population import RemotePopulation
     with pytest.raises(ValueError):
         plan_regions(RemotePopulation(users=[]), k=1)
+
+
+def test_empty_plan_stats_are_well_defined():
+    """Regression: zero-user plans gave NaN means and IndexError p95s."""
+    plan = RegionalPlan(sites=["tokyo"])
+    with pytest.raises(ValueError, match="mean_rtt"):
+        plan.mean_rtt()
+    with pytest.raises(ValueError, match="p95_rtt"):
+        plan.p95_rtt()
+    # Zero of zero users exceed any threshold — a fraction, not NaN.
+    assert plan.fraction_above(0.100) == 0.0
+
+
+def test_single_user_plan_stats():
+    plan = RegionalPlan(sites=["tokyo"],
+                        assignment={"u": "tokyo"}, rtts={"u": 0.08})
+    assert plan.mean_rtt() == pytest.approx(0.08)
+    assert plan.p95_rtt() == pytest.approx(0.08)
+    assert plan.fraction_above(0.100) == 0.0
+    assert plan.fraction_above(0.050) == 1.0
 
 
 def test_cloud_server_seats_remote_users():

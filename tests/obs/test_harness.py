@@ -39,7 +39,10 @@ def test_traces_cover_all_pipeline_stages(harness):
     report = harness.report()
     assert report.n_traces == harness.traces_started
     assert report.incomplete == 0
-    assert set(MTP_STAGES) <= set(report.stages)
+    # shard_relay only exists in multi-shard deployments; the probe
+    # harness runs a single authoritative server, so every *other*
+    # taxonomy stage must appear (the federation tests cover the rest).
+    assert set(MTP_STAGES) - {"shard_relay"} <= set(report.stages)
 
 
 def test_stage_decomposition_accounts_for_e2e_latency(harness):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.simkit import Simulator, VirtualClock
-from repro.sync.timesync import NtpSynchronizer
+from repro.sync.timesync import NtpSynchronizer, TimeSyncError
 
 
 def symmetric_transport(sim, one_way=0.010, jitter_stream=None):
@@ -69,3 +69,135 @@ def test_sync_burst_validation():
     with pytest.raises(ValueError):
         NtpSynchronizer(sim, VirtualClock(sim), VirtualClock(sim),
                         symmetric_transport(sim), burst=0)
+    with pytest.raises(ValueError):
+        NtpSynchronizer(sim, VirtualClock(sim), VirtualClock(sim),
+                        symmetric_transport(sim), burst_timeout=0.0)
+
+
+def lossy_transport(sim, drop_exchanges, one_way=0.010):
+    """Drop the reply of exchange numbers in ``drop_exchanges`` (0-based)."""
+    counter = {"n": 0}
+
+    def send(ping, server_stamp, on_reply):
+        exchange = counter["n"]
+        counter["n"] += 1
+
+        def at_server():
+            server_stamp(ping)
+            if exchange in drop_exchanges:
+                return  # reply lost on the reverse path: on_reply never fires
+            sim.call_later(one_way, lambda: on_reply(ping))
+
+        sim.call_later(one_way, at_server)
+
+    return send
+
+
+def test_sync_proceeds_with_partial_burst_on_dropped_replies():
+    """Regression: a single lost reply used to hang sync_once forever.
+
+    The burst gate waited for exactly ``burst`` replies with no timeout,
+    so one dropped packet left the process pending for the rest of the
+    simulation and the client clock undisciplined.
+    """
+    sim = Simulator(seed=7)
+    client = VirtualClock(sim, offset=0.25)
+    server = VirtualClock(sim)
+    sync = NtpSynchronizer(sim, client, server,
+                           lossy_transport(sim, drop_exchanges={1, 3}),
+                           burst=4, burst_timeout=0.5)
+    proc = sync.sync_once()
+    sim.run()
+    assert proc.triggered  # the burst completed despite the losses
+    assert sync.lost_exchanges == 2
+    assert sync.exchanges == 2  # the replies that did arrive
+    # The surviving samples still discipline the clock.
+    assert abs(client.error()) < 1e-6
+    # The burst closed at its timeout, not at the horizon.
+    assert sim.now < 1.0
+
+
+def test_sync_all_replies_lost_raises():
+    sim = Simulator(seed=8)
+    client = VirtualClock(sim, offset=0.1)
+    server = VirtualClock(sim)
+    sync = NtpSynchronizer(sim, client, server,
+                           lossy_transport(sim, drop_exchanges={0, 1}),
+                           burst=2, burst_timeout=0.2)
+    sync.sync_once()
+    with pytest.raises(TimeSyncError):
+        sim.run()
+    assert sync.lost_exchanges == 2
+    assert client.error() == pytest.approx(0.1)  # clock left untouched
+
+
+def test_late_reply_after_burst_close_is_counted_not_applied():
+    """A straggler arriving after the timeout must not reopen the burst."""
+    sim = Simulator(seed=9)
+    client = VirtualClock(sim, offset=0.3)
+    server = VirtualClock(sim)
+    # One reply at 20 ms, one at 500 ms; the burst closes at 100 ms.
+    delays = iter((0.010, 0.250))
+
+    def send(ping, server_stamp, on_reply):
+        one_way = next(delays)
+
+        def at_server():
+            server_stamp(ping)
+            sim.call_later(one_way, lambda: on_reply(ping))
+
+        sim.call_later(one_way, at_server)
+
+    sync = NtpSynchronizer(sim, client, server, send,
+                           burst=2, burst_timeout=0.1)
+    sync.sync_once()
+    sim.run()
+    assert sync.lost_exchanges == 1  # missing when the burst closed
+    assert sync.late_replies == 1    # ... but it did straggle in
+    assert abs(client.error()) < 1e-6
+
+
+def asymmetric_transport(sim, forward, reverse):
+    def send(ping, server_stamp, on_reply):
+        def at_server():
+            server_stamp(ping)
+            sim.call_later(reverse, lambda: on_reply(ping))
+
+        sim.call_later(forward, at_server)
+
+    return send
+
+
+def test_server_stamp_reads_clock_once():
+    """Regression: t1/t2 came from two reads of a drifting server clock.
+
+    The model has zero server processing time, so the derived RTT must be
+    exactly ``forward + reverse``; a double read made ``t2 - t1`` a
+    nonzero drift-dependent artifact that leaked into every RTT (and
+    through the clock filter, into offset selection).
+    """
+    sim = Simulator(seed=10)
+    client = VirtualClock(sim)
+    server = VirtualClock(sim, drift_ppm=500.0)
+    forward, reverse = 0.030, 0.010
+    rtts = []
+    sync = NtpSynchronizer(sim, client, server,
+                           asymmetric_transport(sim, forward, reverse),
+                           burst=3)
+
+    original = sync._one_exchange
+
+    def capturing(done):
+        original(lambda pair: (rtts.append(pair[1]), done(pair)))
+
+    sync._one_exchange = capturing
+    sync.sync_once()
+    sim.run()
+    assert len(rtts) == 3
+    for rtt in rtts:
+        assert rtt == pytest.approx(forward + reverse, abs=1e-12)
+    # And the stamps themselves are identical on the wire.
+    from repro.sync.protocol import TimePing
+    ping = TimePing(client_send=0.0)
+    sync.server_stamp(ping)
+    assert ping.server_receive == ping.server_send
