@@ -10,6 +10,13 @@ Expected shape: broadcast bandwidth grows linearly with N per client
 (quadratic in total) while interest-managed bandwidth flattens at the
 nearest-k cap; the server's tick saturates without filtering first.
 
+A second sweep wall-clocks the data plane itself: the vectorized (SoA +
+batched delta encode) tick vs the scalar per-subscriber oracle across
+N ∈ {100, 1k, 5k, 10k, 20k}.  That one measures *real* milliseconds per
+tick (``time.perf_counter`` around ``SyncServer.tick_once``), not the
+modeled sim-clock cost, and is what the committed perf budget
+(``benchmarks/perf_budget.py``) tracks in CI.
+
 Standalone usage (the grid-vs-naive *correctness* check lives in
 ``tests/sync/test_interest_grid.py`` and runs in tier-1; this file is the
 performance sweep)::
@@ -18,18 +25,23 @@ performance sweep)::
     PYTHONPATH=src python benchmarks/bench_c3_scale_sync.py --quick  # smoke mode
 """
 
+import statistics
 import sys
+import time
 from pathlib import Path
 
 if __package__ in (None, ""):  # direct `python benchmarks/bench_*.py` run
     sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 
+import numpy as np
+
 from benchmarks.conftest import emit, header
 from repro.avatar.state import AvatarState
+from repro.sensing.pose import Pose
 from repro.simkit import Simulator
 from repro.sync.interest import BroadcastInterest, InterestConfig, InterestManager
 from repro.sync.protocol import ClientUpdate
-from repro.sync.server import SyncServer
+from repro.sync.server import ServerCostModel, SyncServer
 from repro.workload.traces import SeatedMotion
 
 SIZES = (10, 50, 150, 400)
@@ -38,6 +50,25 @@ DURATION = 2.0
 # exercise both interest modes end to end.
 QUICK_SIZES = (10, 50)
 QUICK_DURATION = 0.5
+
+# -- wall-clock N-sweep (vectorized vs scalar data plane) ---------------------
+
+SCALE_SIZES = (100, 1000, 5000, 10000, 20000)
+#: The scalar oracle is O(subscribers x relevant) Python; past this it
+#: only proves the sweep can outwait it.
+SCALE_SCALAR_LIMIT = 5000
+SCALE_TICKS = 4
+#: Fraction of entities moving per tick.  Avatars stream pose updates
+#: continuously (the C3a driver publishes every entity every tick), so
+#: the representative steady state is full churn.
+SCALE_CHURN = 1.0
+QUICK_SCALE_SIZES = (1000, 10000)
+QUICK_SCALE_TICKS = 3
+#: Acceptance: at N=10000 the vectorized shard must hold (modeled) 20 Hz.
+MIN_MODEL_TICK_RATE_10K = 19.0
+#: Acceptance: measured wall-clock speedup of the vectorized tick at this N.
+SPEEDUP_N = 5000
+MIN_SPEEDUP = 5.0
 
 
 def run_one(n: int, managed: bool, duration: float = DURATION,
@@ -105,6 +136,96 @@ def report(results, duration):
              f"{pairs_col}")
 
 
+def run_scale_one(n: int, vectorized: bool, ticks: int = SCALE_TICKS,
+                  churn: float = SCALE_CHURN, seed: int = 3):
+    """Wall-clock one server's tick at N entities (all subscribed).
+
+    The world is seeded and keyframed in an untimed warm-up tick; each
+    measured tick then moves a ``churn`` fraction of entities (1.0 by
+    default — avatars stream pose continuously) and times only
+    ``tick_once``: update apply + interest + delta encode + snapshot
+    build, free of driver overhead.
+    """
+    sim = Simulator(seed=seed)
+    interest = InterestManager(InterestConfig(radius_m=8.0, max_entities=30))
+    cost_model = ServerCostModel.vectorized() if vectorized \
+        else ServerCostModel()
+    server = SyncServer(sim, tick_rate_hz=20.0, interest=interest,
+                        cost_model=cost_model, vectorized=vectorized)
+    assert server.vectorized == vectorized
+    for i in range(n):
+        server.subscribe(f"u{i}", lambda snapshot: None)
+
+    def publish(i, seq):
+        pose = Pose(position=np.array(
+            [i % 100 * 1.2 + 0.01 * seq, i // 100 * 1.5, 1.2]))
+        server.ingest(ClientUpdate(
+            f"u{i}", AvatarState(f"u{i}", sim.now, pose, seq=seq), seq))
+
+    for i in range(n):
+        publish(i, 0)
+    server.tick_once()             # warm-up: apply the world, keyframe everyone
+    rng = np.random.default_rng(seed)
+    wall_s, model_s = [], []
+    for seq in range(1, ticks + 1):
+        for i in rng.choice(n, size=max(1, int(n * churn)), replace=False):
+            publish(int(i), seq)
+        begin = time.perf_counter()
+        model_s.append(server.tick_once())
+        wall_s.append(time.perf_counter() - begin)
+    model_mean = statistics.fmean(model_s)
+    return {
+        "wall_ms_per_tick": statistics.median(wall_s) * 1e3,
+        "tick_cost_model_ms": model_mean * 1e3,
+        "tick_rate_model": 1.0 / max(server.tick_period, model_mean),
+    }
+
+
+def run_scale(sizes=SCALE_SIZES, ticks=SCALE_TICKS,
+              scalar_limit=SCALE_SCALAR_LIMIT):
+    results = {}
+    for n in sizes:
+        results[(n, True)] = run_scale_one(n, True, ticks)
+        if n <= scalar_limit:
+            results[(n, False)] = run_scale_one(n, False, ticks)
+    return results
+
+
+def report_scale(results):
+    header("C3a — Data-plane N-sweep: vectorized (SoA) vs scalar wall clock")
+    emit(f"{'N':>6} {'path':<11} {'wall ms/tick':>13} {'model ms':>9} "
+         f"{'model Hz':>9}")
+    for (n, vectorized), row in sorted(results.items()):
+        path = "vectorized" if vectorized else "scalar"
+        emit(f"{n:>6} {path:<11} {row['wall_ms_per_tick']:>13.2f} "
+             f"{row['tick_cost_model_ms']:>9.2f} "
+             f"{row['tick_rate_model']:>9.1f}")
+    for n in sorted({n for n, _ in results}):
+        if (n, True) in results and (n, False) in results:
+            speedup = results[(n, False)]["wall_ms_per_tick"] / \
+                max(1e-9, results[(n, True)]["wall_ms_per_tick"])
+            emit(f"  speedup at N={n}: {speedup:.1f}x")
+
+
+def check_scale(results, quick):
+    """The sweep's acceptance gates (raises on violation)."""
+    key_10k = (10_000, True)
+    if key_10k in results:
+        rate = results[key_10k]["tick_rate_model"]
+        if rate < MIN_MODEL_TICK_RATE_10K:
+            raise SystemExit(
+                f"N=10000 vectorized shard holds only {rate:.1f} Hz "
+                f"(need >= {MIN_MODEL_TICK_RATE_10K})")
+    key = (SPEEDUP_N, True)
+    if not quick and key in results and (SPEEDUP_N, False) in results:
+        speedup = results[(SPEEDUP_N, False)]["wall_ms_per_tick"] / \
+            max(1e-9, results[key]["wall_ms_per_tick"])
+        if speedup < MIN_SPEEDUP:
+            raise SystemExit(
+                f"vectorized tick at N={SPEEDUP_N} is only {speedup:.1f}x "
+                f"the scalar path (need >= {MIN_SPEEDUP}x)")
+
+
 def test_c3a_scale_sync(benchmark):
     results = benchmark.pedantic(run_c3a, rounds=1, iterations=1)
     report(results, DURATION)
@@ -144,6 +265,11 @@ def main(argv=None):
         "--trace", action="store_true",
         help="span-trace server ticks (sim-clock) and report stage totals",
     )
+    parser.add_argument(
+        "--scale-sizes", type=int, nargs="+", default=None,
+        help="entity counts for the wall-clock N-sweep "
+             "(overrides the default sweep)",
+    )
     args = parser.parse_args(argv)
     from benchmarks._emit import write_bench_json
 
@@ -155,16 +281,33 @@ def main(argv=None):
     )
     results = run_c3a(sizes, duration, trace=args.trace)
     report(results, duration)
+    scale_sizes = tuple(args.scale_sizes) if args.scale_sizes else (
+        QUICK_SCALE_SIZES if args.quick else SCALE_SIZES
+    )
+    scale_ticks = QUICK_SCALE_TICKS if args.quick else SCALE_TICKS
+    scale = run_scale(scale_sizes, scale_ticks)
+    report_scale(scale)
     biggest = results[(sizes[-1], True)]
+    scale_params = {
+        f"{'vec' if vectorized else 'scalar'}_{n}": {
+            "wall_ms_per_tick": row["wall_ms_per_tick"],
+            "tick_rate_model": row["tick_rate_model"],
+        }
+        for (n, vectorized), row in scale.items()
+    }
     path = write_bench_json(
         "c3a", "egress_kbps_interest", biggest["egress_kbps"], "kbps",
         params={
             "n": sizes[-1], "duration_s": duration,
             "egress_kbps_broadcast": results[(sizes[-1], False)]["egress_kbps"],
             "tick_cost_ms": biggest["tick_cost_ms"],
+            "quick": bool(args.quick),
+            "scale_ticks": scale_ticks,
+            "scale": scale_params,
         },
         stages=biggest.get("stages_ms"))
     emit(f"wrote {path}")
+    check_scale(scale, quick=args.quick)
     return results
 
 

@@ -1,0 +1,100 @@
+"""Perf-budget gate for the C3a data-plane N-sweep.
+
+Compares the quick-mode per-tick wall clock recorded in
+``benchmarks/results/BENCH_c3a.json`` (``params.scale``, written by
+``bench_c3_scale_sync.py --quick``) against the committed baseline in
+``benchmarks/perf_budget_baseline.json`` and exits non-zero when any
+tracked key regressed by more than the baseline's ``max_regression``
+factor.  The factor is deliberately loose (2x) so the gate survives CI
+machine variance while still catching an accidentally de-vectorized
+data plane, which is an order-of-magnitude cliff, not a few percent.
+
+Usage::
+
+    python benchmarks/perf_budget.py [RESULTS_JSON]
+    python benchmarks/perf_budget.py --update [RESULTS_JSON]
+
+``--update`` rewrites the baseline from the current results (run a
+quick bench first); commit the updated baseline alongside intentional
+perf-profile changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_RESULTS = Path(__file__).parent / "results" / "BENCH_c3a.json"
+BASELINE_PATH = Path(__file__).parent / "perf_budget_baseline.json"
+
+
+def load_scale(results_path: Path) -> dict:
+    data = json.loads(results_path.read_text())
+    scale = data.get("params", {}).get("scale")
+    if not isinstance(scale, dict) or not scale:
+        raise SystemExit(
+            f"{results_path}: no params.scale section — run "
+            "bench_c3_scale_sync.py (e.g. with --quick) first")
+    if not data.get("params", {}).get("quick", False):
+        print("note: results were recorded without --quick; the committed "
+              "baseline tracks quick mode", file=sys.stderr)
+    return scale
+
+
+def update(results_path: Path) -> int:
+    scale = load_scale(results_path)
+    baseline = {
+        "max_regression": 2.0,
+        "wall_ms_per_tick": {
+            key: round(row["wall_ms_per_tick"], 3)
+            for key, row in sorted(scale.items())
+        },
+    }
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"wrote {BASELINE_PATH}")
+    return 0
+
+
+def check(results_path: Path) -> int:
+    if not BASELINE_PATH.exists():
+        raise SystemExit(f"missing baseline {BASELINE_PATH}; run with "
+                         "--update to create it")
+    baseline = json.loads(BASELINE_PATH.read_text())
+    budget = float(baseline["max_regression"])
+    scale = load_scale(results_path)
+    failed = False
+    for key, base_ms in sorted(baseline["wall_ms_per_tick"].items()):
+        row = scale.get(key)
+        if row is None:
+            print(f"MISSING {key}: baseline has {base_ms} ms but the "
+                  "results carry no such key")
+            failed = True
+            continue
+        now_ms = float(row["wall_ms_per_tick"])
+        ratio = now_ms / max(1e-9, float(base_ms))
+        verdict = "FAIL" if ratio > budget else "ok"
+        failed = failed or ratio > budget
+        print(f"{verdict:4s} {key:14s} {now_ms:9.2f} ms vs baseline "
+              f"{float(base_ms):9.2f} ms ({ratio:.2f}x, budget {budget:.1f}x)")
+    if failed:
+        print("perf budget exceeded", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", nargs="?", type=Path,
+                        default=DEFAULT_RESULTS)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed baseline from results")
+    args = parser.parse_args()
+    if args.update:
+        return update(args.results)
+    return check(args.results)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

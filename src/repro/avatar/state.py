@@ -27,6 +27,12 @@ class AvatarState:
     joint_rotations: Optional[np.ndarray] = None
     expression: Optional[np.ndarray] = None
     seq: int = 0
+    #: Session epoch of the publisher.  A client that crashes and rejoins
+    #: with a reset ``seq`` counter bumps its epoch; staleness checks
+    #: compare ``(epoch, seq)`` lexicographically, so the fresh stream is
+    #: never mistaken for duplicates of the pre-crash one.  Rides in the
+    #: high bits of the wire header's seq word (no extra bytes).
+    epoch: int = 0
     meta: dict = field(default_factory=dict)
 
     def wire_bytes(self, config: QuantizationConfig = QuantizationConfig()) -> int:
@@ -45,17 +51,20 @@ class AvatarState:
         return size
 
     def copy(self) -> "AvatarState":
-        return AvatarState(
-            participant_id=self.participant_id,
-            time=self.time,
-            pose=self.pose.copy(),
-            joint_rotations=(
-                None if self.joint_rotations is None else self.joint_rotations.copy()
-            ),
-            expression=None if self.expression is None else self.expression.copy(),
-            seq=self.seq,
-            meta=dict(self.meta),
+        # Bypasses dataclass __init__: the snapshot fan-out copies every
+        # sent state, so this sits on the data-plane hot path.
+        new = AvatarState.__new__(AvatarState)
+        new.participant_id = self.participant_id
+        new.time = self.time
+        new.pose = self.pose.copy()
+        new.joint_rotations = (
+            None if self.joint_rotations is None else self.joint_rotations.copy()
         )
+        new.expression = None if self.expression is None else self.expression.copy()
+        new.seq = self.seq
+        new.epoch = self.epoch
+        new.meta = dict(self.meta)
+        return new
 
     def position_error(self, other: "AvatarState") -> float:
         """Root position divergence from another state (metres)."""

@@ -15,9 +15,16 @@ IDENTITY_QUAT = np.array([1.0, 0.0, 0.0, 0.0])
 
 
 def quat_normalize(q: np.ndarray) -> np.ndarray:
-    """Return ``q`` scaled to unit norm; rejects the zero quaternion."""
+    """Return ``q`` scaled to unit norm; rejects the zero quaternion.
+
+    The squared norm is summed in explicit left-to-right order rather
+    than through ``np.linalg.norm`` (whose BLAS dot product may use a
+    different accumulation order per platform/build): the batched
+    quantizer reproduces this exact operation row-wise, and bit-for-bit
+    scalar/vector equivalence requires one well-defined summation order.
+    """
     q = np.asarray(q, dtype=float)
-    norm = np.linalg.norm(q)
+    norm = np.sqrt(((q[0] * q[0] + q[1] * q[1]) + q[2] * q[2]) + q[3] * q[3])
     if norm < 1e-12:
         raise ValueError("cannot normalize a zero quaternion")
     return q / norm
@@ -98,7 +105,13 @@ class Pose:
         self.orientation = quat_normalize(np.asarray(self.orientation, dtype=float).reshape(4))
 
     def copy(self) -> "Pose":
-        return Pose(self.position.copy(), self.orientation.copy())
+        # Fields are already validated/normalized, so skip __post_init__
+        # (re-normalizing an already-unit quaternion would also perturb
+        # its bits, making copies not byte-identical to the original).
+        new = Pose.__new__(Pose)
+        new.position = self.position.copy()
+        new.orientation = self.orientation.copy()
+        return new
 
     def distance_to(self, other: "Pose") -> float:
         """Euclidean position error in metres."""

@@ -32,14 +32,23 @@ class SyncClient:
         transmit: Callable[[ClientUpdate], None],
         update_rate_hz: float = 20.0,
         interpolation_delay: float = 0.1,
+        epoch: int = 0,
     ):
         if update_rate_hz <= 0:
             raise ValueError("update rate must be positive")
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
         self.sim = sim
         self.client_id = client_id
         self.transmit = transmit
         self.update_period = 1.0 / update_rate_hz
         self.interpolation_delay = interpolation_delay
+        #: Session epoch stamped on every published state.  A rejoining
+        #: client (fresh ``SyncClient`` with a reset seq counter for the
+        #: same id) must pass a higher epoch than its previous session so
+        #: servers do not drop its updates as stale (see
+        #: :meth:`~repro.sync.delta.WorldState.apply`).
+        self.epoch = epoch
         self._buffers: Dict[str, SnapshotBuffer] = {}
         self._input_seq = 0
         self._state_seq = 0
@@ -59,6 +68,7 @@ class SyncClient:
             time=self.sim.now,
             pose=self.local_pose(self.sim.now),
             seq=self._state_seq,
+            epoch=self.epoch,
         )
         self._state_seq += 1
         update = ClientUpdate(

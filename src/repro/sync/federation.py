@@ -75,7 +75,7 @@ from repro.net.packet import Packet
 from repro.sensing.quantize import QuantizationConfig
 from repro.simkit.engine import Simulator
 from repro.sync.client import SyncClient
-from repro.sync.delta import DeltaEncoder
+from repro.sync.delta import OWNER_LOCAL, BatchDeltaEncoder, DeltaEncoder
 from repro.sync.interest import InterestConfig, InterestManager
 from repro.sync.migration import FailoverController, MigratableClient
 from repro.sync.protocol import HEADER_BYTES, ClientUpdate, ServerSnapshot
@@ -108,11 +108,18 @@ class ShardDelta:
     subscribers: Dict[str, np.ndarray] = field(default_factory=dict)
     full: bool = False
     trace: Optional[Dict[str, Any]] = None
+    #: Precomputed state-payload bytes (the batched relay sums the
+    #: world's cached per-slot wire sizes in one reduction); None falls
+    #: back to the per-state sum, which is equal by construction.
+    cached_states_bytes: Optional[int] = None
 
     @property
     def size_bytes(self) -> int:
         size = HEADER_BYTES
-        size += sum(state.wire_bytes(_QUANT) for state in self.states)
+        if self.cached_states_bytes is not None:
+            size += self.cached_states_bytes
+        else:
+            size += sum(state.wire_bytes(_QUANT) for state in self.states)
         size += 8 * len(self.removed)
         size += DIGEST_ENTRY_BYTES * len(self.subscribers)
         return size
@@ -151,13 +158,9 @@ class ShardRelay:
         self.states_forwarded = 0
         self.bytes_sent = 0
 
-    def fire(self) -> Optional[ShardDelta]:
-        """One relay round; returns the delta sent (None when idle)."""
-        service = self.service
-        src = service.shards[self.src_site]
-        if src.crashed:
-            return None
-        local = service.local_entities(self.src_site)
+    def _encode_scalar(self, src) -> tuple:
+        """Scalar relay round: id-set interest + per-entity delta encode."""
+        local = self.service.local_entities(self.src_site)
         relevant: Set[str] = set()
         if self.remote_subjects and local:
             positions = {
@@ -169,6 +172,52 @@ class ShardRelay:
                 relevant |= subject_set
         states, removed, full = self.encoder.encode(
             self.dst_site, src.world, relevant)
+        return [state.copy() for state in states], removed, full, None
+
+    def _encode_batch(self, src) -> tuple:
+        """SoA relay round: the source-local slot block feeds the
+        vectorized interest core directly; the union of every remote
+        subject's CSR row is delta-encoded in one
+        :meth:`~repro.sync.delta.BatchDeltaEncoder.encode_batch` call
+        with this relay's destination as the single subscriber row."""
+        world = src.world
+        ids, slots, points = self.service.local_soa(self.src_site)
+        if self.remote_subjects and len(slots):
+            subject_points = np.stack([
+                np.asarray(p, dtype=float)
+                for p in self.remote_subjects.values()
+            ])
+            no_self = np.full(len(subject_points), -1, dtype=np.int64)
+            always_rows = np.flatnonzero(np.fromiter(
+                (entity_id in self.interest.config.always_relevant
+                 for entity_id in ids), dtype=bool, count=len(ids)))
+            ranks = np.empty(len(ids), dtype=np.int64)
+            ranks[np.argsort(np.asarray(ids, dtype=object))] = np.arange(
+                len(ids), dtype=np.int64)
+            offsets, flat = self.interest.relevant_indices_batch(
+                points, subject_points, no_self, always_rows, ranks)
+            rel_slots = slots[np.unique(flat)] if len(flat) else \
+                np.empty(0, dtype=np.int64)
+        else:
+            rel_slots = np.empty(0, dtype=np.int64)
+        send_mask, full_flags, removed_lists = self.encoder.encode_batch(
+            world, [self.dst_site],
+            np.array([0, len(rel_slots)], dtype=np.int64), rel_slots)
+        sent_slots = rel_slots[send_mask]
+        states = [world.state_at(s).copy() for s in sent_slots.tolist()]
+        states_bytes = int(world.wire_sizes[sent_slots].sum())
+        return states, removed_lists[0], bool(full_flags[0]), states_bytes
+
+    def fire(self) -> Optional[ShardDelta]:
+        """One relay round; returns the delta sent (None when idle)."""
+        service = self.service
+        src = service.shards[self.src_site]
+        if src.crashed:
+            return None
+        if isinstance(self.encoder, BatchDeltaEncoder):
+            states, removed, full, states_bytes = self._encode_batch(src)
+        else:
+            states, removed, full, states_bytes = self._encode_scalar(src)
         digest = service.home_subscriber_digest(self.src_site)
         if not states and not removed and not digest:
             return None
@@ -176,10 +225,11 @@ class ShardRelay:
             src_site=self.src_site,
             dst_site=self.dst_site,
             seq=self.seq,
-            states=[state.copy() for state in states],
+            states=states,
             removed=removed,
             subscribers=digest,
             full=full,
+            cached_states_bytes=states_bytes,
         )
         self.seq += 1
         packet = Packet(
@@ -258,6 +308,7 @@ class ShardedSyncService:
         default_inter_shard_delay: float = 0.02,
         default_access_delay: float = 0.005,
         name: str = "fed",
+        vectorized: bool = True,
     ):
         if not plan.sites:
             raise ValueError("plan has no sites")
@@ -289,11 +340,21 @@ class ShardedSyncService:
         #: stops a relay from echoing a ghost back to where it came from.
         self.entity_home: Dict[str, str] = {}
         self.clients: Dict[str, FederatedClient] = {}
+        self.vectorized = vectorized
+        #: Owner code per site (1-based; ``OWNER_LOCAL`` = 0 marks locally
+        #: authoritative slots).  Ghost entities applied from a relay are
+        #: tagged with their home shard's code straight in the world's SoA
+        #: ``owners`` array, so "which entities are mine" is an array
+        #: compare instead of a per-entity dict filter.
+        self.site_codes: Dict[str, int] = {
+            site: code for code, site in enumerate(plan.sites, start=1)
+        }
         self.shards: Dict[str, SyncServer] = {
             site: SyncServer(
                 sim, name=site, tick_rate_hz=tick_rate_hz,
                 interest=InterestManager(self.interest_config),
                 cost_model=cost_model, keyframe_interval=keyframe_interval,
+                vectorized=vectorized,
             )
             for site in plan.sites
         }
@@ -307,10 +368,15 @@ class ShardedSyncService:
                     self._inter_shard_delay(src, dst),
                     name=f"{name}:{src}->{dst}",
                 )
+                relay_encoder = (
+                    BatchDeltaEncoder(keyframe_interval=keyframe_interval)
+                    if vectorized
+                    else DeltaEncoder(keyframe_interval=keyframe_interval)
+                )
                 self.relays[(src, dst)] = ShardRelay(
                     self, src, dst, link,
                     interest=InterestManager(self.interest_config),
-                    encoder=DeltaEncoder(keyframe_interval=keyframe_interval),
+                    encoder=relay_encoder,
                 )
         self._access_links: Dict[Tuple[str, str, str], Link] = {}
         #: Latest span context per traced entity (obs enabled only).
@@ -359,8 +425,16 @@ class ShardedSyncService:
         user_id: str,
         update_rate_hz: float = 20.0,
         interpolation_delay: float = 0.1,
+        epoch: int = 0,
     ) -> FederatedClient:
-        """Attach one remote user to their assigned home shard."""
+        """Attach one remote user to their assigned home shard.
+
+        A user rejoining after a client-side crash (fresh state with a
+        reset seq counter) must pass a higher ``epoch`` than its previous
+        session: federation ghosts of the pre-crash stream survive in
+        every shard's world, and without the epoch bump their higher seqs
+        would make the rejoined client's updates look stale everywhere.
+        """
         if user_id in self.clients:
             raise ValueError(f"client {user_id!r} already added")
         site = self.home.get(user_id)
@@ -371,6 +445,7 @@ class ShardedSyncService:
             transmit=lambda update: self.route_update(user_id, update),
             update_rate_hz=update_rate_hz,
             interpolation_delay=interpolation_delay,
+            epoch=epoch,
         )
         migratable = MigratableClient(
             self.sim, client, self.shards[site],
@@ -485,13 +560,34 @@ class ShardedSyncService:
 
     # -- federation ------------------------------------------------------------
 
+    def local_soa(self, site: str) -> tuple:
+        """``(ids, slots, points)`` of the entities authoritative on
+        ``site``, straight off the shard world's SoA arrays.
+
+        The world's ``owners`` array screens out relay ghosts (tagged
+        with their home shard's code) in one vectorized compare; only the
+        surviving local slots pay a dict probe, which catches the brief
+        window where an entity's authority moved away but its last local
+        copy has not been superseded by the reverse relay yet.
+        """
+        world = self.shards[site].world
+        ids, slots, points = world.compact()
+        local_rows = np.flatnonzero(world.owners[slots] == OWNER_LOCAL)
+        entity_home = self.entity_home
+        keep = [
+            int(row) for row in local_rows
+            if entity_home.get(ids[row]) == site
+        ]
+        rows = np.asarray(keep, dtype=np.int64)
+        return [ids[row] for row in keep], slots[rows], points[rows]
+
     def local_entities(self, site: str) -> Dict[str, Any]:
         """Entities authoritative on ``site`` (ghost copies excluded)."""
         world = self.shards[site].world
+        ids, slots, _points = self.local_soa(site)
         return {
-            entity_id: state
-            for entity_id, state in world.entities.items()
-            if self.entity_home.get(entity_id) == site
+            entity_id: world.state_at(slot)
+            for entity_id, slot in zip(ids, slots.tolist())
         }
 
     def home_subscriber_digest(self, site: str) -> Dict[str, np.ndarray]:
@@ -499,16 +595,17 @@ class ShardedSyncService:
 
         Clients that have not yet published an entity query from the
         origin — matching what the shard's own tick assumes for a
-        subscriber without a world entity.
+        subscriber without a world entity.  Positions are rows of the
+        world's SoA position block, not ``state.pose`` attribute chains.
         """
         world = self.shards[site].world
         digest: Dict[str, np.ndarray] = {}
         for user_id, federated in self.clients.items():
             if federated.home != site:
                 continue
-            state = world.entities.get(user_id)
+            slot = world.slot_of(user_id)
             digest[user_id] = (
-                state.pose.position if state is not None else _ORIGIN
+                world.positions_arr[slot] if slot is not None else _ORIGIN
             )
         return digest
 
@@ -520,8 +617,9 @@ class ShardedSyncService:
         shard = self.shards.get(delta.dst_site)
         if shard is None or shard.crashed:
             return
+        ghost_owner = self.site_codes.get(delta.src_site, OWNER_LOCAL)
         for state in delta.states:
-            shard.world.apply(state)
+            shard.world.apply(state, owner=ghost_owner)
         for entity_id in delta.removed:
             if self.entity_home.get(entity_id) == delta.src_site:
                 shard.world.remove(entity_id)

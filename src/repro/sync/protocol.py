@@ -55,9 +55,17 @@ class ServerSnapshot:
     removed: List[str] = field(default_factory=list)
     full: bool = False
     trace: Optional[Dict[str, Any]] = None
+    #: Precomputed wire size.  The vectorized tick sums per-entity wire
+    #: sizes for every subscriber in one reduction and stamps the result
+    #: here; when None the property falls back to the per-state sum (the
+    #: two are equal by construction — the cached per-slot sizes come from
+    #: the same ``AvatarState.wire_bytes`` model).
+    cached_size_bytes: Optional[int] = None
 
     @property
     def size_bytes(self) -> int:
+        if self.cached_size_bytes is not None:
+            return self.cached_size_bytes
         size = HEADER_BYTES
         size += sum(state.wire_bytes(_QUANT) for state in self.states)
         size += 8 * len(self.removed)
