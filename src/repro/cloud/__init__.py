@@ -7,6 +7,18 @@ solve this issue by setting up regional servers" — planned here by a
 k-median placement over the remote population's geography.
 """
 
+from repro.cloud.autoscaler import (
+    SHARD_TEMPLATES,
+    AutoscalePlanner,
+    AutoscalerConfig,
+    ScaleAction,
+    ScaleDecision,
+    ShardAutoscaler,
+    ShardSignals,
+    ShardTemplate,
+    decision_fingerprint,
+)
+from repro.cloud.fleet import FleetResult, FluidFleet
 from repro.cloud.layout import VRClassroomLayout
 from repro.cloud.regions import (
     RegionalPlan,
@@ -18,10 +30,21 @@ from repro.cloud.scaling import ShardPlanner
 from repro.cloud.server import CloudClassroomServer
 
 __all__ = [
+    "SHARD_TEMPLATES",
+    "AutoscalePlanner",
+    "AutoscalerConfig",
     "CloudClassroomServer",
+    "FleetResult",
+    "FluidFleet",
     "RegionalPlan",
+    "ScaleAction",
+    "ScaleDecision",
+    "ShardAutoscaler",
     "ShardPlanner",
+    "ShardSignals",
+    "ShardTemplate",
     "VRClassroomLayout",
+    "decision_fingerprint",
     "plan_regions",
     "reassign_after_outage",
     "single_server_plan",

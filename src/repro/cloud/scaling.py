@@ -44,10 +44,31 @@ class ShardPlanner:
             return {}
         return {user_id: i % shards for i, user_id in enumerate(user_ids)}
 
+    def shard_sizes(self, n_users: int) -> List[int]:
+        """Occupancy per shard under :meth:`assign`'s round-robin order.
+
+        Round-robin distributes the remainder over the *first*
+        ``n_users % shards`` shards, so the trailing shards hold one user
+        fewer whenever the audience does not divide evenly.
+        """
+        shards = self.n_shards(n_users)
+        if shards == 0:
+            return []
+        base, extra = divmod(n_users, shards)
+        return [base + (1 if i < extra else 0) for i in range(shards)]
+
     def peer_visibility_fraction(self, n_users: int) -> float:
-        """Fraction of the audience each user can see as peers."""
+        """Per-user mean fraction of the audience visible as peers.
+
+        A user in a shard of size ``s`` sees ``s - 1`` of the other
+        ``n_users - 1`` participants, and with round-robin remainders the
+        shard sizes differ — the old mean-occupancy shortcut over-counted
+        visibility for everyone in the smaller trailing shards.  Averaging
+        over users weights each shard by its actual size:
+        ``sum(s * (s - 1)) / (n * (n - 1))``.
+        """
         if n_users <= 1:
             return 1.0
-        shards = self.n_shards(n_users)
-        per_shard = n_users / shards
-        return min(1.0, (per_shard - 1) / (n_users - 1))
+        sizes = self.shard_sizes(n_users)
+        visible_pairs = sum(size * (size - 1) for size in sizes)
+        return min(1.0, visible_pairs / (n_users * (n_users - 1)))

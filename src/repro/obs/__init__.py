@@ -12,7 +12,10 @@ under ~100 ms end to end — is only checkable if the simulator can say
   ``trace_event`` emitters over the same data;
 * :mod:`repro.obs.harness` — an instrumented probe pipeline wiring a
   tracker, links, an edge hop, the sync server, and a render pipeline
-  into complete capture-to-photon traces.
+  into complete capture-to-photon traces;
+* :mod:`repro.obs.signals` — windowed views (sample cursors, counter
+  rates) over the accumulate-only metrics layer, the raw material for
+  closed-loop controllers like :mod:`repro.cloud.autoscaler`.
 """
 
 from repro.obs.export import (
@@ -28,6 +31,7 @@ from repro.obs.report import (
     MotionToPhotonReport,
     TraceSummary,
 )
+from repro.obs.signals import CounterRate, SampleWindow, percentile
 from repro.obs.span import (
     MTP_STAGES,
     NOOP_CONTEXT,
@@ -41,6 +45,9 @@ from repro.obs.span import (
 )
 
 __all__ = [
+    "CounterRate",
+    "SampleWindow",
+    "percentile",
     "MTP_STAGES",
     "NOOP_CONTEXT",
     "NOOP_SPAN",

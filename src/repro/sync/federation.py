@@ -157,6 +157,9 @@ class ShardRelay:
         self.deltas_sent = 0
         self.states_forwarded = 0
         self.bytes_sent = 0
+        #: Set when either endpoint is decommissioned; the relay process
+        #: exits on its next wake and in-flight fires become no-ops.
+        self.stopped = False
 
     def _encode_scalar(self, src) -> tuple:
         """Scalar relay round: id-set interest + per-entity delta encode."""
@@ -211,8 +214,10 @@ class ShardRelay:
     def fire(self) -> Optional[ShardDelta]:
         """One relay round; returns the delta sent (None when idle)."""
         service = self.service
-        src = service.shards[self.src_site]
-        if src.crashed:
+        if self.stopped:
+            return None
+        src = service.shards.get(self.src_site)
+        if src is None or src.crashed:
             return None
         if isinstance(self.encoder, BatchDeltaEncoder):
             states, removed, full, states_bytes = self._encode_batch(src)
@@ -330,6 +335,17 @@ class ShardedSyncService:
         self.relay_period = 1.0 / (
             relay_rate_hz if relay_rate_hz is not None else tick_rate_hz
         )
+        # Shard construction parameters, kept for elastic growth: a shard
+        # provisioned mid-run (add_site) must be indistinguishable from
+        # one built here.
+        self._tick_rate_hz = float(tick_rate_hz)
+        self._cost_model = cost_model
+        self._keyframe_interval = int(keyframe_interval)
+        self._inter_shard_rate_bps = float(inter_shard_rate_bps)
+        #: Horizon of the current start() window (None outside a run);
+        #: shards added mid-run arm their tick/relay processes for the
+        #: remaining span so the whole fleet winds down together.
+        self._run_until: Optional[float] = None
         self.metrics = MetricsRegistry()
         self.users = {
             user.user_id: user for user in getattr(population, "users", [])
@@ -350,37 +366,43 @@ class ShardedSyncService:
             site: code for code, site in enumerate(plan.sites, start=1)
         }
         self.shards: Dict[str, SyncServer] = {
-            site: SyncServer(
-                sim, name=site, tick_rate_hz=tick_rate_hz,
-                interest=InterestManager(self.interest_config),
-                cost_model=cost_model, keyframe_interval=keyframe_interval,
-                vectorized=vectorized,
-            )
-            for site in plan.sites
+            site: self._make_shard(site) for site in plan.sites
         }
         self.relays: Dict[Tuple[str, str], ShardRelay] = {}
         for src in plan.sites:
             for dst in plan.sites:
                 if src == dst:
                     continue
-                link = Link(
-                    sim, inter_shard_rate_bps,
-                    self._inter_shard_delay(src, dst),
-                    name=f"{name}:{src}->{dst}",
-                )
-                relay_encoder = (
-                    BatchDeltaEncoder(keyframe_interval=keyframe_interval)
-                    if vectorized
-                    else DeltaEncoder(keyframe_interval=keyframe_interval)
-                )
-                self.relays[(src, dst)] = ShardRelay(
-                    self, src, dst, link,
-                    interest=InterestManager(self.interest_config),
-                    encoder=relay_encoder,
-                )
+                self.relays[(src, dst)] = self._make_relay(src, dst)
         self._access_links: Dict[Tuple[str, str, str], Link] = {}
         #: Latest span context per traced entity (obs enabled only).
         self._traced: Dict[str, Any] = {}
+
+    def _make_shard(self, site: str) -> SyncServer:
+        return SyncServer(
+            self.sim, name=site, tick_rate_hz=self._tick_rate_hz,
+            interest=InterestManager(self.interest_config),
+            cost_model=self._cost_model,
+            keyframe_interval=self._keyframe_interval,
+            vectorized=self.vectorized,
+        )
+
+    def _make_relay(self, src: str, dst: str) -> ShardRelay:
+        link = Link(
+            self.sim, self._inter_shard_rate_bps,
+            self._inter_shard_delay(src, dst),
+            name=f"{self.name}:{src}->{dst}",
+        )
+        relay_encoder = (
+            BatchDeltaEncoder(keyframe_interval=self._keyframe_interval)
+            if self.vectorized
+            else DeltaEncoder(keyframe_interval=self._keyframe_interval)
+        )
+        return ShardRelay(
+            self, src, dst, link,
+            interest=InterestManager(self.interest_config),
+            encoder=relay_encoder,
+        )
 
     # -- geography ---------------------------------------------------------
 
@@ -466,6 +488,105 @@ class ShardedSyncService:
         self.plan.assignment[user_id] = new_site
         self.plan.rtts[user_id] = 2.0 * self.access_delay(user_id, new_site)
         self.metrics.incr("handoffs_voluntary")
+
+    # -- elasticity --------------------------------------------------------
+
+    def add_site(self, site: str) -> SyncServer:
+        """Provision a new shard at ``site`` and federate it.
+
+        The shard gets a fresh (never reused) owner code, bidirectional
+        relays to every existing shard, and — when the service is inside
+        a :meth:`start` window — tick and relay processes armed for the
+        remaining horizon, so a shard provisioned mid-run participates
+        immediately and winds down with the rest of the fleet.  No users
+        are moved; route them with :meth:`move_user` or admission-time
+        placement.
+        """
+        if site in self.shards:
+            raise ValueError(f"site {site!r} already provisioned")
+        # Never reuse an owner code: ghosts tagged with a decommissioned
+        # site's code must not suddenly read as owned by the newcomer.
+        self.site_codes[site] = max(self.site_codes.values(), default=0) + 1
+        shard = self._make_shard(site)
+        self.shards[site] = shard
+        if site not in self.plan.sites:
+            self.plan.sites.append(site)
+        new_relays: List[ShardRelay] = []
+        for other in self.shards:
+            if other == site:
+                continue
+            for src, dst in ((site, other), (other, site)):
+                relay = self._make_relay(src, dst)
+                self.relays[(src, dst)] = relay
+                new_relays.append(relay)
+        if self._run_until is not None and \
+                self.sim.now < self._run_until - 1e-12:
+            remaining = self._run_until - self.sim.now
+            shard.run(duration=remaining)
+            for relay in new_relays:
+                self._relay_process(relay, remaining)
+        self.metrics.incr("sites_provisioned")
+        return shard
+
+    def decommission_site(self, site: str) -> None:
+        """Retire an empty shard: stop its tick and relays, drop it.
+
+        Refuses while any attached client is homed on ``site`` (drain
+        them first — :meth:`drain_site` does both steps) and refuses to
+        remove the last shard.  Plan-assigned users who never attached
+        are re-routed to their nearest surviving site.  Ghost copies of
+        this shard's former entities may linger in other worlds until
+        their authority republishes elsewhere — the same staleness the
+        crash path tolerates.
+        """
+        if site not in self.shards:
+            raise KeyError(f"unknown site {site!r}")
+        survivors = [s for s in self.shards if s != site]
+        if not survivors:
+            raise ValueError("cannot decommission the last site")
+        homed = sorted(
+            user_id for user_id, federated in self.clients.items()
+            if federated.home == site
+        )
+        if homed:
+            raise ValueError(
+                f"site {site!r} still serves {len(homed)} client(s) "
+                f"({', '.join(homed[:5])}{'...' if len(homed) > 5 else ''}); "
+                "drain them first")
+        for user_id, assigned in list(self.home.items()):
+            if assigned == site:
+                self.home[user_id] = min(
+                    survivors,
+                    key=lambda s: (self.access_delay(user_id, s), s))
+                self.plan.assignment[user_id] = self.home[user_id]
+        for key in [k for k in self.relays if site in k]:
+            self.relays.pop(key).stopped = True
+        self.shards.pop(site).stop()
+        if site in self.plan.sites:
+            self.plan.sites.remove(site)
+        self.metrics.incr("sites_decommissioned")
+
+    def drain_site(self, site: str) -> List[str]:
+        """Move every client homed on ``site`` to its nearest surviving
+        shard (make-before-break), then decommission the site.  Returns
+        the drained user ids in migration order (sorted, so replays are
+        byte-identical)."""
+        if site not in self.shards:
+            raise KeyError(f"unknown site {site!r}")
+        survivors = [s for s in self.shards if s != site]
+        if not survivors:
+            raise ValueError("cannot drain the last site")
+        drained = sorted(
+            user_id for user_id, federated in self.clients.items()
+            if federated.home == site
+        )
+        for user_id in drained:
+            target = min(
+                survivors,
+                key=lambda s: (self.access_delay(user_id, s), s))
+            self.move_user(user_id, target)
+        self.decommission_site(site)
+        return drained
 
     def adopt_plan(self, plan: RegionalPlan) -> None:
         """Take over a reassigned plan (routing follows immediately)."""
@@ -633,6 +754,8 @@ class ShardedSyncService:
         def body():
             end = self.sim.now + duration
             while self.sim.now < end - 1e-12:
+                if relay.stopped:
+                    break  # endpoint decommissioned mid-run
                 relay.fire()
                 delay = self.relay_period
                 if self.sim.now + delay > end:
@@ -645,6 +768,7 @@ class ShardedSyncService:
         """Arm every shard's tick loop and every relay for ``duration``."""
         if duration <= 0:
             raise ValueError("duration must be positive")
+        self._run_until = self.sim.now + duration
         processes = [
             shard.run(duration=duration) for shard in self.shards.values()
         ]

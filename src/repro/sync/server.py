@@ -214,6 +214,24 @@ class SyncServer:
         ):
             process.interrupt("server crash")
 
+    def stop(self) -> None:
+        """Gracefully end the current run loop (the decommission path).
+
+        Unlike :meth:`crash` the server keeps its world, subscribers and
+        metrics — it simply stops ticking, closing the measurement window
+        as if the run's horizon had arrived.  Idempotent; a later
+        :meth:`run` starts a fresh window.  No-op when called from inside
+        the tick process itself.
+        """
+        process = self._tick_process
+        if (
+            self._running
+            and process is not None
+            and process.is_alive
+            and self.sim.active_process is not process
+        ):
+            process.interrupt("server stop")
+
     def restart(self) -> None:
         """Come back up with empty memory (world and delta state died).
 

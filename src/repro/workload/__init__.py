@@ -7,7 +7,12 @@ the class formats the paper names (lecture, tutorial, seminar, group
 project, gamified breakout).
 """
 
-from repro.workload.arrival import BurstyArrivals, PoissonArrivals
+from repro.workload.arrival import (
+    BurstyArrivals,
+    ClassScheduleForecast,
+    DiurnalClassLoad,
+    PoissonArrivals,
+)
 from repro.workload.behavior import BehaviorModel, BehaviorState
 from repro.workload.lecture import ActivityPhase, ActivityScript, standard_script
 from repro.workload.population import RemotePopulation, sample_worldwide
@@ -19,6 +24,8 @@ __all__ = [
     "BehaviorModel",
     "BehaviorState",
     "BurstyArrivals",
+    "ClassScheduleForecast",
+    "DiurnalClassLoad",
     "MotionTrace",
     "PoissonArrivals",
     "RemotePopulation",

@@ -91,6 +91,35 @@ def test_shard_visibility_tradeoff():
     assert planner.peer_visibility_fraction(5000) < 0.2
 
 
+def test_shard_sizes_match_actual_assignment():
+    planner = ShardPlanner(shard_capacity=10, replicated_entities=0)
+    for n in (1, 9, 10, 11, 25, 31):
+        counts = {}
+        for shard in planner.assign([f"u{i}" for i in range(n)]).values():
+            counts[shard] = counts.get(shard, 0) + 1
+        assert planner.shard_sizes(n) == [
+            counts[shard] for shard in sorted(counts)
+        ]
+    assert planner.shard_sizes(0) == []
+
+
+def test_shard_visibility_uses_actual_shard_sizes():
+    """Regression: just above one-shard capacity the fraction was wrong.
+
+    With capacity 10 and 11 users, round-robin yields shards of 6 and 5 —
+    not the 5.5-user mean shard the old formula assumed.  Per-user mean
+    visibility is sum(s*(s-1)) / (n*(n-1)) over the actual sizes.
+    """
+    planner = ShardPlanner(shard_capacity=10, replicated_entities=0)
+    n = 11
+    fraction = planner.peer_visibility_fraction(n)
+    assert fraction == pytest.approx((6 * 5 + 5 * 4) / (n * (n - 1)))
+    # The mean-occupancy shortcut reported (5.5 - 1) / 10 = 0.45.  The
+    # per-user mean is strictly higher (s*(s-1) is convex, and more users
+    # sit in the larger shard), so equality means the bug came back.
+    assert fraction > 0.45
+
+
 def test_shard_validation():
     with pytest.raises(ValueError):
         ShardPlanner(shard_capacity=1)
