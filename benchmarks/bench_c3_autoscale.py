@@ -43,6 +43,8 @@ from repro.cloud.autoscaler import (
     ShardAutoscaler,
     ShardTemplate,
 )
+from repro.obs.flight import FlightRecorder
+from repro.obs.slo import SloEngine, SloSpec
 from repro.cloud.fleet import FluidFleet
 from repro.cloud.regions import DEFAULT_CANDIDATE_SITES, plan_regions
 from repro.simkit import Simulator
@@ -131,11 +133,22 @@ def run_fluid(seed: int, quick: bool) -> dict:
     }
 
 
-def run_live(seed: int, population_size: int, duration: float) -> dict:
-    """The rush: everyone joins through admission control at t~0."""
+def run_live(seed: int, population_size: int, duration: float,
+             incident_dir=None, obs: bool = False) -> dict:
+    """The rush: everyone joins through admission control at t~0.
+
+    The judgment layer rides inside the control loop: every autoscaler
+    poll drains the flight recorder, then the SLO engine rules on the
+    home shard's tick-cost stream against its 20 Hz budget.  The rush
+    saturating the shard is a sustained overrun -> ``breach``; breach
+    pressure requisitions capacity alongside the admission backlog
+    (``poll_once``), and when ``incident_dir`` is given the recorder
+    dumps ``INCIDENT_<id>.json`` — tick costs, deferred-join depth,
+    control decisions and spans — the instant the breach fires.
+    """
     population = sample_worldwide(population_size,
                                   np.random.default_rng(seed))
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, obs=obs)
     plan = plan_regions(population, k=1)
     service = ShardedSyncService(sim, plan, population,
                                  interest_config=LIVE_INTEREST,
@@ -156,9 +169,33 @@ def run_live(seed: int, population_size: int, duration: float) -> dict:
             anchor, sim.rng.stream(f"motion-{user_id}"))
         federated.client.run(max(0.1, duration - sim.now))
 
+    home_shard = service.shards[home_site]
+    engine = SloEngine()
+    # 5 tick-cost samples land per 0.25 s poll; a saturated shard makes
+    # every one bad, so both windows burn at 1/budget_fraction = 20x and
+    # the breach is immediate.  slow_window_s bounds how long the bad
+    # samples linger after the split relieves the shard — 1.5 s plus
+    # clear_polls * poll_period_s is the recovery lag the report shows.
+    engine.watch(
+        SloSpec("tick_overrun", objective=home_shard.tick_period, unit="s",
+                description="home-shard tick cost vs its 20 Hz budget",
+                budget_fraction=0.05, fast_window_s=0.5, slow_window_s=1.5,
+                breach_burn=2.0, warn_burn=1.0, clear_polls=3),
+        lambda: home_shard.metrics.tracker("tick_cost").samples)
     pool = [site for site in DEFAULT_CANDIDATE_SITES if site != home_site]
     autoscaler = ShardAutoscaler(sim, service, template, config,
-                                 site_pool=pool, attach=attach)
+                                 site_pool=pool, attach=attach,
+                                 slo_engine=engine)
+    flight = FlightRecorder(window_s=3.0, tracer=sim.obs,
+                            decisions=autoscaler.decisions, prefix="c3g")
+    flight.watch_samples(
+        "tick_cost_s",
+        lambda: home_shard.metrics.tracker("tick_cost").samples)
+    flight.watch_gauge("deferred_joins",
+                       lambda: float(len(autoscaler.deferred)))
+    if incident_dir is not None:
+        flight.bind(engine, incident_dir)
+    autoscaler.flight = flight  # polled in lockstep by poll_once
     arrivals = BurstyArrivals(np.random.default_rng(seed),
                               n=population_size, burst_fraction=0.9,
                               burst_window=duration * 0.25)
@@ -189,11 +226,17 @@ def run_live(seed: int, population_size: int, duration: float) -> dict:
         "handoffs_voluntary": int(
             service.metrics.counter("handoffs_voluntary")),
         "fingerprint": autoscaler.fingerprint(),
+        "slo_transitions": engine.fingerprint(),
+        "slo_breaches": engine.breach_count(),
+        "slo_final": engine.state("tick_overrun"),
+        "incidents": list(flight.dumped),
     }
 
 
-def run_c3g(quick: bool = False, seed: int = SEED, tracer=None) -> dict:
+def run_c3g(quick: bool = False, seed: int = SEED, tracer=None,
+            incident_dir=None) -> dict:
     import contextlib
+    import tempfile
 
     def phase(name):
         if tracer is None:
@@ -201,15 +244,19 @@ def run_c3g(quick: bool = False, seed: int = SEED, tracer=None) -> dict:
         from benchmarks._emit import wall_phase
         return wall_phase(tracer, name)
 
+    obs = incident_dir is not None
     live_population = QUICK_LIVE_POPULATION if quick else LIVE_POPULATION
     live_duration = QUICK_LIVE_DURATION if quick else LIVE_DURATION
     with phase("fluid-day"):
         fluid = run_fluid(seed, quick)
     with phase("live-loop"):
-        live = run_live(seed, live_population, live_duration)
+        live = run_live(seed, live_population, live_duration,
+                        incident_dir=incident_dir, obs=obs)
     with phase("live-replay"):
-        live_replay = run_live(seed, live_population, live_duration)
-    return {
+        replay_dir = tempfile.mkdtemp() if incident_dir is not None else None
+        live_replay = run_live(seed, live_population, live_duration,
+                               incident_dir=replay_dir, obs=obs)
+    results = {
         "fluid": fluid,
         "live": live,
         "replay_identical": (
@@ -217,6 +264,19 @@ def run_c3g(quick: bool = False, seed: int = SEED, tracer=None) -> dict:
             and repr(live) == repr(live_replay)
         ),
     }
+    if incident_dir is not None:
+        # The rush incidents must replay byte-for-byte, same bar as C3e.
+        identical = bool(live["incidents"])
+        for incident in live["incidents"]:
+            for suffix in ("", "_trace"):
+                a = Path(incident_dir) / f"INCIDENT_{incident}{suffix}.json"
+                b = Path(replay_dir) / f"INCIDENT_{incident}{suffix}.json"
+                if a.exists() != b.exists():
+                    identical = False
+                elif a.exists() and a.read_bytes() != b.read_bytes():
+                    identical = False
+        results["incident_identical"] = identical
+    return results
 
 
 def check_c3g(results: dict) -> None:
@@ -265,6 +325,13 @@ def report(results: dict, quick: bool):
     emit(f"  single-homed throughout:      {live['single_homed']}")
     emit(f"  final max tick utilization:   "
          f"{live['max_final_tick_utilization']:.2f}")
+    emit(f"  SLO tick_overrun: {live['slo_breaches']} breach(es), "
+         f"final state {live['slo_final']}"
+         + (f", incident(s) {', '.join(live['incidents'])}"
+            if live["incidents"] else ""))
+    for line in live["slo_transitions"].splitlines():
+        t, slo, change = line.split(" ")
+        emit(f"    t={float(t):6.2f} s  {slo} {change}")
     emit(f"seeded replay byte-identical: {results['replay_identical']}")
 
 
@@ -280,6 +347,11 @@ def test_c3g_autoscale(benchmark):
     assert auto["peak_load"] >= 900_000
     assert results["live"]["splits"] >= 1
     assert results["replay_identical"] is True
+    # The rush is a judged incident: saturation breaches the tick SLO,
+    # the split relieves it, and the engine sees the recovery.
+    assert results["live"]["slo_breaches"] >= 1
+    assert "->breach" in results["live"]["slo_transitions"]
+    assert results["live"]["slo_final"] == "healthy"
 
 
 def main(argv=None):
@@ -293,16 +365,20 @@ def main(argv=None):
     parser.add_argument("--seed", type=int, default=SEED)
     parser.add_argument(
         "--trace", action="store_true",
-        help="wall-clock phase spans land in the JSON",
+        help="wall-clock phase spans land in the JSON and SLO-breach "
+             "incidents dump to the results dir",
     )
     args = parser.parse_args(argv)
     from benchmarks._emit import (
+        RESULTS_DIR,
         phase_breakdown_ms,
         wall_tracer,
         write_bench_json,
     )
     tracer = wall_tracer() if args.trace else None
-    results = run_c3g(args.quick, args.seed, tracer=tracer)
+    incident_dir = RESULTS_DIR if args.trace else None
+    results = run_c3g(args.quick, args.seed, tracer=tracer,
+                      incident_dir=incident_dir)
     report(results, args.quick)
     check_c3g(results)
 
@@ -312,6 +388,11 @@ def main(argv=None):
             name: round(value, 3)
             for name, value in phase_breakdown_ms(tracer).items()
         }
+        extra_params["incidents"] = ",".join(results["live"]["incidents"])
+        extra_params["incident_identical"] = str(
+            results["incident_identical"])
+        emit(f"incident dumps byte-identical across replay: "
+             f"{results['incident_identical']}")
     auto = results["fluid"]["autoscaled"]
     static = results["fluid"]["static_k4"]
     live = results["live"]
@@ -332,6 +413,8 @@ def main(argv=None):
             "live_joined": live["joined"],
             "live_splits": live["splits"],
             "live_defers": live["defers"],
+            "live_slo_breaches": live["slo_breaches"],
+            "live_slo_final": live["slo_final"],
             "live_single_homed": str(live["single_homed"]),
             "replay_identical": str(results["replay_identical"]),
             **extra_params,

@@ -34,6 +34,8 @@ from repro.net.faults import (
     LinkOutageSchedule,
     ServerCrashSchedule,
 )
+from repro.obs.flight import FlightRecorder
+from repro.obs.slo import SloEngine, SloSpec
 from repro.net.geo import WORLD_CITIES
 from repro.net.packet import Packet
 from repro.net.topology import Site, Topology
@@ -76,9 +78,18 @@ def _drive_world(sim, server, duration, n_others=4):
     sim.process(driver())
 
 
-def run_server_crash_failover(seed: int, duration: float) -> dict:
-    """A student in Daejeon rides out the Tokyo region crashing."""
-    sim = Simulator(seed=seed)
+def run_server_crash_failover(seed: int, duration: float,
+                              incident_dir=None, obs: bool = False) -> dict:
+    """A student in Daejeon rides out the Tokyo region crashing.
+
+    The SLO engine judges the run continuously: a snapshot-age gauge (a
+    silence detector — sample streams stop during a blackout, a gauge
+    keeps growing) breaches during the crash window, the flight recorder
+    dumps ``INCIDENT_<id>.json`` into ``incident_dir`` (when given), and
+    the hysteresis clears the breach after failover — the full
+    breach → incident → recovery sequence in one seeded scenario.
+    """
+    sim = Simulator(seed=seed, obs=obs)
     topo = Topology(sim)
     for city in ("kaist", "tokyo", "seoul"):
         topo.add_site(Site(city, WORLD_CITIES[city]))
@@ -119,6 +130,38 @@ def run_server_crash_failover(seed: int, duration: float) -> dict:
     crash_at = round(duration * 0.4, 6)
     injector = FaultInjector(sim)
     injector.server_crash(primary, ServerCrashSchedule([(crash_at, None)]))
+
+    # The judgment layer: snapshot age is a *gauge* probe because during
+    # a blackout the latency sample stream goes silent — absence of
+    # samples can't trip a sample-based SLO, but the age keeps growing.
+    def snapshot_age() -> float:
+        if migratable.last_snapshot_at is None:
+            return 0.0
+        return sim.now - migratable.last_snapshot_at
+
+    engine = SloEngine()
+    engine.watch_gauge(
+        SloSpec("snapshot_age", objective=0.2, unit="s",
+                description="seconds since the client's last snapshot",
+                budget_fraction=0.05, fast_window_s=0.5, slow_window_s=1.0,
+                breach_burn=2.0, warn_burn=1.0, clear_polls=3),
+        snapshot_age)
+    flight = FlightRecorder(window_s=4.0, tracer=sim.obs,
+                            fault_log=injector.log, prefix="c3e")
+    flight.watch_gauge("snapshot_age_s", snapshot_age)
+    flight.watch_samples(
+        "snapshot_latency_s", lambda: client.snapshot_latency.samples)
+    if incident_dir is not None:
+        flight.bind(engine, incident_dir)
+
+    def judge():
+        end = sim.now + duration
+        while sim.now < end - 1e-12:
+            flight.poll(sim.now)
+            engine.evaluate(sim.now)
+            yield sim.timeout(0.1)
+
+    sim.process(judge())
     sim.run()
 
     return {
@@ -130,6 +173,10 @@ def run_server_crash_failover(seed: int, duration: float) -> dict:
         "keyframe_reattach": migratable.first_new_snapshot_was_full,
         "snapshots": client.snapshots_received,
         "fault_log": injector.fingerprint(),
+        "slo_transitions": engine.fingerprint(),
+        "slo_breaches": engine.breach_count(),
+        "slo_final": engine.state("snapshot_age"),
+        "incidents": list(flight.dumped),
     }
 
 
@@ -184,8 +231,9 @@ def run_reliable_outage_recovery(seed: int, duration: float,
 
 
 def run_c3e(duration: float = DURATION, chunks: int = CHUNKS,
-            seed: int = SEED, tracer=None) -> dict:
+            seed: int = SEED, tracer=None, incident_dir=None) -> dict:
     import contextlib
+    import tempfile
 
     def phase(name):
         if tracer is None:
@@ -193,19 +241,36 @@ def run_c3e(duration: float = DURATION, chunks: int = CHUNKS,
         from benchmarks._emit import wall_phase
         return wall_phase(tracer, name)
 
+    obs = incident_dir is not None
     with phase("failover"):
-        failover = run_server_crash_failover(seed, duration)
+        failover = run_server_crash_failover(
+            seed, duration, incident_dir=incident_dir, obs=obs)
     with phase("reliable"):
         reliable = run_reliable_outage_recovery(seed, duration, chunks)
     results = {"failover": failover, "reliable": reliable}
     with phase("replay"):
+        replay_dir = tempfile.mkdtemp() if incident_dir is not None else None
         replay = {
-            "failover": run_server_crash_failover(seed, duration),
+            "failover": run_server_crash_failover(
+                seed, duration, incident_dir=replay_dir, obs=obs),
             "reliable": run_reliable_outage_recovery(seed, duration, chunks),
         }
     results["replay_identical"] = repr(results["failover"]) == repr(
         replay["failover"]) and repr(results["reliable"]) == repr(
         replay["reliable"])
+    if incident_dir is not None:
+        # The incident dumps themselves must replay byte-for-byte: no
+        # wall clocks, no temp paths, no iteration-order leaks inside.
+        identical = bool(failover["incidents"])
+        for incident in failover["incidents"]:
+            for suffix in ("", "_trace"):
+                a = Path(incident_dir) / f"INCIDENT_{incident}{suffix}.json"
+                b = Path(replay_dir) / f"INCIDENT_{incident}{suffix}.json"
+                if a.exists() != b.exists():
+                    identical = False
+                elif a.exists() and a.read_bytes() != b.read_bytes():
+                    identical = False
+        results["incident_identical"] = identical
     return results
 
 
@@ -224,6 +289,13 @@ def report(results: dict, duration: float):
          if blackout is not None else "  client blackout     INFINITE")
     emit(f"  keyframe re-attach  {failover['keyframe_reattach']}")
     emit(f"  snapshots received  {failover['snapshots']}")
+    emit(f"  SLO snapshot_age: {failover['slo_breaches']} breach(es), "
+         f"final state {failover['slo_final']}"
+         + (f", incident(s) {', '.join(failover['incidents'])}"
+            if failover["incidents"] else ""))
+    for line in failover["slo_transitions"].splitlines():
+        t, slo, change = line.split(" ")
+        emit(f"    t={float(t):6.2f} s  {slo} {change}")
     emit("reliable transfer across a WAN link outage "
          f"({reliable['outage'][0]:.2f}-{reliable['outage'][1]:.2f} s):")
     emit(f"  chunks delivered    {reliable['delivered']}/{reliable['chunks']} "
@@ -249,6 +321,10 @@ def test_c3e_failover(benchmark):
     assert DETECTION_TIMEOUT < failover["blackout_s"] < 1.5
     assert failover["keyframe_reattach"] is True
     assert failover["failovers"] == 1
+    # Breach -> recovery, judged live by the SLO engine.
+    assert failover["slo_breaches"] >= 1
+    assert "->breach" in failover["slo_transitions"]
+    assert failover["slo_final"] == "healthy"
 
     reliable = results["reliable"]
     # No head-of-line deadlock: the transfer finishes after the outage.
@@ -273,9 +349,11 @@ def main(argv=None):
     )
     parser.add_argument("--seed", type=int, default=SEED)
     parser.add_argument("--trace", action="store_true",
-                        help="record wall-clock spans per fault scenario")
+                        help="record wall-clock spans per fault scenario and "
+                             "dump SLO-breach incidents to the results dir")
     args = parser.parse_args(argv)
     from benchmarks._emit import (
+        RESULTS_DIR,
         export_trace,
         phase_breakdown_ms,
         wall_tracer,
@@ -284,17 +362,25 @@ def main(argv=None):
     duration = QUICK_DURATION if args.quick else DURATION
     chunks = QUICK_CHUNKS if args.quick else CHUNKS
     tracer = wall_tracer() if args.trace else None
-    results = run_c3e(duration, chunks, args.seed, tracer=tracer)
+    incident_dir = RESULTS_DIR if args.trace else None
+    results = run_c3e(duration, chunks, args.seed, tracer=tracer,
+                      incident_dir=incident_dir)
     report(results, duration)
+    params = {"duration_s": duration, "chunks": chunks, "seed": args.seed,
+              "recovery_ms": results["reliable"]["recovery_s"] * 1e3,
+              "retransmissions": results["reliable"]["retransmissions"],
+              "replay_identical": str(results["replay_identical"]),
+              "slo_breaches": results["failover"]["slo_breaches"]}
+    if args.trace:
+        params["incidents"] = ",".join(results["failover"]["incidents"])
+        params["incident_identical"] = str(results["incident_identical"])
+        emit(f"incident dumps byte-identical across replay: "
+             f"{results['incident_identical']}")
     stages = phase_breakdown_ms(tracer) if tracer is not None else None
     path = write_bench_json(
         "c3e", "failover_blackout_ms",
         results["failover"]["blackout_s"] * 1e3, "ms",
-        params={"duration_s": duration, "chunks": chunks, "seed": args.seed,
-                "recovery_ms": results["reliable"]["recovery_s"] * 1e3,
-                "retransmissions": results["reliable"]["retransmissions"],
-                "replay_identical": str(results["replay_identical"])},
-        stages=stages)
+        params=params, stages=stages)
     if tracer is not None:
         export_trace(tracer.spans(), "c3e")
     emit(f"wrote {path}")

@@ -37,6 +37,7 @@ import numpy as np
 
 from benchmarks.conftest import emit, header
 from repro.avatar.state import AvatarState
+from repro.obs.profiler import TickProfiler, guard_overhead_pct
 from repro.sensing.pose import Pose
 from repro.simkit import Simulator
 from repro.sync.interest import BroadcastInterest, InterestConfig, InterestManager
@@ -69,6 +70,9 @@ MIN_MODEL_TICK_RATE_10K = 19.0
 #: Acceptance: measured wall-clock speedup of the vectorized tick at this N.
 SPEEDUP_N = 5000
 MIN_SPEEDUP = 5.0
+#: Acceptance: the profiler's disabled path (a ``prof.enabled`` guard at
+#: each phase boundary) must cost under this share of a measured tick.
+MAX_NOOP_OVERHEAD_PCT = 3.0
 
 
 def run_one(n: int, managed: bool, duration: float = DURATION,
@@ -137,7 +141,8 @@ def report(results, duration):
 
 
 def run_scale_one(n: int, vectorized: bool, ticks: int = SCALE_TICKS,
-                  churn: float = SCALE_CHURN, seed: int = 3):
+                  churn: float = SCALE_CHURN, seed: int = 3,
+                  profiler=None):
     """Wall-clock one server's tick at N entities (all subscribed).
 
     The world is seeded and keyframed in an untimed warm-up tick; each
@@ -151,7 +156,8 @@ def run_scale_one(n: int, vectorized: bool, ticks: int = SCALE_TICKS,
     cost_model = ServerCostModel.vectorized() if vectorized \
         else ServerCostModel()
     server = SyncServer(sim, tick_rate_hz=20.0, interest=interest,
-                        cost_model=cost_model, vectorized=vectorized)
+                        cost_model=cost_model, vectorized=vectorized,
+                        profiler=profiler)
     assert server.vectorized == vectorized
     for i in range(n):
         server.subscribe(f"u{i}", lambda snapshot: None)
@@ -205,6 +211,52 @@ def report_scale(results):
             speedup = results[(n, False)]["wall_ms_per_tick"] / \
                 max(1e-9, results[(n, True)]["wall_ms_per_tick"])
             emit(f"  speedup at N={n}: {speedup:.1f}x")
+
+
+def run_profile(n: int, ticks: int = SCALE_TICKS, seed: int = 3,
+                baseline=None):
+    """Phase-profile the vectorized tick at N and price the off switch.
+
+    One instrumented repeat of the sweep's biggest vectorized config
+    yields the per-phase self-time table (apply / interest / delta /
+    serialize); ``guard_overhead_pct`` then times the *disabled* path —
+    the ``prof.enabled`` guards the hot loop always executes — against
+    the unprofiled baseline tick, which is the honest cost of shipping
+    the instrumentation turned off.
+    """
+    if baseline is None:
+        baseline = run_scale_one(n, True, ticks, seed=seed)
+    profiler = TickProfiler()
+    profiled = run_scale_one(n, True, ticks, seed=seed, profiler=profiler)
+    return {
+        "profiler": profiler,
+        "baseline_wall_ms": baseline["wall_ms_per_tick"],
+        "profiled_wall_ms": profiled["wall_ms_per_tick"],
+        "noop_guard_overhead_pct": guard_overhead_pct(
+            baseline["wall_ms_per_tick"] / 1e3),
+    }
+
+
+def report_profile(profile, n):
+    header(f"C3a — Tick-phase self-time profile (vectorized, N={n})")
+    for line in profile["profiler"].table().splitlines():
+        emit(f"  {line}")
+    emit(f"  profiled tick {profile['profiled_wall_ms']:.2f} ms vs "
+         f"unprofiled {profile['baseline_wall_ms']:.2f} ms")
+    emit(f"  disabled-path guard overhead: "
+         f"{profile['noop_guard_overhead_pct']:.4f}% of a tick "
+         f"(budget {MAX_NOOP_OVERHEAD_PCT:.0f}%)")
+
+
+def check_profile(profile):
+    """Profiler acceptance gates (raises on violation)."""
+    if not profile["profiler"].hot_phases():
+        raise SystemExit("profiled run recorded no tick phases")
+    pct = profile["noop_guard_overhead_pct"]
+    if pct >= MAX_NOOP_OVERHEAD_PCT:
+        raise SystemExit(
+            f"profiler disabled-path guards cost {pct:.3f}% of a tick "
+            f"(budget {MAX_NOOP_OVERHEAD_PCT}%)")
 
 
 def check_scale(results, quick):
@@ -287,6 +339,10 @@ def main(argv=None):
     scale_ticks = QUICK_SCALE_TICKS if args.quick else SCALE_TICKS
     scale = run_scale(scale_sizes, scale_ticks)
     report_scale(scale)
+    profile_n = scale_sizes[-1]
+    profile = run_profile(profile_n, scale_ticks,
+                          baseline=scale[(profile_n, True)])
+    report_profile(profile, profile_n)
     biggest = results[(sizes[-1], True)]
     scale_params = {
         f"{'vec' if vectorized else 'scalar'}_{n}": {
@@ -304,10 +360,20 @@ def main(argv=None):
             "quick": bool(args.quick),
             "scale_ticks": scale_ticks,
             "scale": scale_params,
+            "profile": {
+                "n": profile_n,
+                "noop_guard_overhead_pct": round(
+                    profile["noop_guard_overhead_pct"], 4),
+                "hot_phases": {
+                    name: round(row["total_s"] * 1e3, 3)
+                    for name, row in profile["profiler"].hot_phases(4)
+                },
+            },
         },
         stages=biggest.get("stages_ms"))
     emit(f"wrote {path}")
     check_scale(scale, quick=args.quick)
+    check_profile(profile)
     return results
 
 

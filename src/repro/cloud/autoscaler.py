@@ -375,6 +375,8 @@ class ShardAutoscaler:
         forecast=None,
         site_pool: Sequence[str] = DEFAULT_CANDIDATE_SITES,
         attach: Optional[Callable[[str, str], None]] = None,
+        slo_engine=None,
+        flight=None,
     ):
         self.sim = sim
         self.service = service
@@ -383,6 +385,13 @@ class ShardAutoscaler:
         self.planner = AutoscalePlanner(template, self.config, forecast)
         self.site_pool = list(site_pool)
         self.attach = attach
+        #: Optional :class:`~repro.obs.slo.SloEngine`; when wired, every
+        #: poll evaluates it and active breaches count as provisioning
+        #: pressure alongside deferred admissions.
+        self.slo_engine = slo_engine
+        #: Optional :class:`~repro.obs.flight.FlightRecorder`, polled in
+        #: lockstep so its retention window tracks the control loop.
+        self.flight = flight
         self.metrics = MetricsRegistry()
         self.decisions: List[ScaleDecision] = []
         self.deferred: List[str] = []
@@ -591,17 +600,34 @@ class ShardAutoscaler:
     # -- the loop ----------------------------------------------------------
 
     def poll_once(self) -> List[ScaleAction]:
-        """One control round: probe, decide, actuate, drain admissions."""
+        """One control round: probe, judge, decide, actuate, drain."""
         signals = self.signals()
+        # Judge before deciding: the flight recorder drains its streams
+        # first so a breach-triggered incident dump sees this poll's
+        # samples, then the SLO engine rules on the same instant.
+        breached: List[str] = []
+        if self.flight is not None:
+            self.flight.poll(self.sim.now)
+        if self.slo_engine is not None:
+            for verdict in self.slo_engine.evaluate(self.sim.now):
+                if verdict.state == "breach":
+                    breached.append(verdict.slo)
+            if breached:
+                self.metrics.incr("slo_breach_polls")
+            self.metrics.set_gauge("slo_breached_specs", len(breached))
         actions = self.planner.decide(
             self.sim.now, signals, pending=len(self._pending_sites))
         for action in actions:
             self._actuate(action)
-        # A flash crowd can outrun the signal path: deferred joins are
-        # structural pressure, acted on even before utilization breaches.
-        if self.deferred and not self._pending_sites \
+        # A flash crowd can outrun the signal path: deferred joins — and
+        # active SLO breaches — are structural pressure, acted on even
+        # before utilization trips the planner.
+        if (self.deferred or breached) and not self._pending_sites \
                 and not self._has_headroom():
-            self._request_site(None, f"admission backlog {len(self.deferred)}")
+            reason = (f"admission backlog {len(self.deferred)}"
+                      if self.deferred
+                      else "slo breach " + ",".join(sorted(breached)))
+            self._request_site(None, reason)
         self._drain_deferred()
         return actions
 

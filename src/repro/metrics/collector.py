@@ -32,6 +32,34 @@ class MetricsRegistry:
         self._trackers: Dict[str, LatencyTracker] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._families: Dict[str, MetricFamily] = {}
+        self._help: Dict[str, str] = {}
+
+    # -- help text --------------------------------------------------------
+
+    def describe(self, name: str, text: str) -> None:
+        """Attach ``# HELP`` text to metric ``name`` (any kind).
+
+        Describing a registered family also stamps the family's own
+        ``help_text``, so exporters reading either surface agree.
+        """
+        self._help[name] = text
+        family = self._families.get(name)
+        if family is not None:
+            family.help_text = text
+
+    def help_text(self, name: str) -> str:
+        family = self._families.get(name)
+        if family is not None and family.help_text:
+            return family.help_text
+        return self._help.get(name, "")
+
+    @property
+    def help_texts(self) -> Dict[str, str]:
+        merged = dict(self._help)
+        for name, family in self._families.items():
+            if family.help_text:
+                merged[name] = family.help_text
+        return merged
 
     # -- counters ---------------------------------------------------------
 
@@ -78,29 +106,39 @@ class MetricsRegistry:
     # -- labeled families -----------------------------------------------------
 
     def _family(self, name: str, label_names: Sequence[str], factory,
-                kind: str) -> MetricFamily:
+                kind: str, help_text: str = "") -> MetricFamily:
         family = self._families.get(name)
         if family is None:
-            family = MetricFamily(name, label_names, factory, kind=kind)
+            family = MetricFamily(name, label_names, factory, kind=kind,
+                                  help_text=help_text or
+                                  self._help.get(name, ""))
             self._families[name] = family
         elif family.label_names != tuple(label_names):
             raise ValueError(
                 f"family {name!r} already registered with labels "
                 f"{family.label_names}, got {tuple(label_names)}")
+        if help_text:
+            self.describe(name, help_text)
         return family
 
-    def counter_family(self, name: str, label_names: Sequence[str]) -> MetricFamily:
-        return self._family(name, label_names, Counter, "counter")
+    def counter_family(self, name: str, label_names: Sequence[str],
+                       help_text: str = "") -> MetricFamily:
+        return self._family(name, label_names, Counter, "counter",
+                            help_text=help_text)
 
-    def gauge_family(self, name: str, label_names: Sequence[str]) -> MetricFamily:
-        return self._family(name, label_names, Gauge, "gauge")
+    def gauge_family(self, name: str, label_names: Sequence[str],
+                     help_text: str = "") -> MetricFamily:
+        return self._family(name, label_names, Gauge, "gauge",
+                            help_text=help_text)
 
     def histogram_family(
         self, name: str, label_names: Sequence[str],
         buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        help_text: str = "",
     ) -> MetricFamily:
         return self._family(
-            name, label_names, lambda n: Histogram(n, buckets), "histogram")
+            name, label_names, lambda n: Histogram(n, buckets), "histogram",
+            help_text=help_text)
 
     @property
     def families(self) -> Dict[str, MetricFamily]:

@@ -141,16 +141,19 @@ class MetricFamily:
 
     ``factory`` builds one child per distinct label-value tuple; children
     are created lazily on first :meth:`labels` access and iterated in
-    insertion order by :meth:`items`.
+    insertion order by :meth:`items`.  ``help_text`` feeds the ``# HELP``
+    line in the text exposition.
     """
 
     def __init__(self, name: str, label_names: Sequence[str],
-                 factory: Callable[[str], object], kind: str = "untyped"):
+                 factory: Callable[[str], object], kind: str = "untyped",
+                 help_text: str = ""):
         if not label_names:
             raise ValueError("a family needs at least one label name")
         self.name = name
         self.label_names = tuple(label_names)
         self.kind = kind
+        self.help_text = help_text
         self._factory = factory
         self._children: Dict[Tuple[str, ...], object] = {}
 
@@ -175,9 +178,23 @@ class MetricFamily:
         return len(self._children)
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote, and line feed are the three characters the
+    format requires escaping inside quoted label values; everything else
+    passes through verbatim.
+    """
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def label_string(label_names: Sequence[str], label_values: Sequence[str]) -> str:
     """Render ``{k="v",...}`` in the Prometheus exposition style."""
     inner = ",".join(
-        f'{name}="{value}"' for name, value in zip(label_names, label_values)
+        f'{name}="{escape_label_value(value)}"'
+        for name, value in zip(label_names, label_values)
     )
     return "{" + inner + "}"

@@ -15,7 +15,15 @@ under ~100 ms end to end — is only checkable if the simulator can say
   into complete capture-to-photon traces;
 * :mod:`repro.obs.signals` — windowed views (sample cursors, counter
   rates) over the accumulate-only metrics layer, the raw material for
-  closed-loop controllers like :mod:`repro.cloud.autoscaler`.
+  closed-loop controllers like :mod:`repro.cloud.autoscaler`;
+* :mod:`repro.obs.slo` — declarative SLOs judged continuously with
+  multi-window burn-rate alerting (healthy/warning/breach + hysteresis);
+* :mod:`repro.obs.flight` — a bounded flight recorder that dumps
+  schema-validated ``INCIDENT_<id>.json`` (+ Perfetto trace) on breach;
+* :mod:`repro.obs.profiler` — a zero-dep tick-phase profiler with
+  per-phase self-time histograms and a top-k hot-phase table;
+* :mod:`repro.obs.scoreboard` — per-client rolling QoE performance and
+  fuzzy cybersickness gauges, the adaptation loop's single surface.
 """
 
 from repro.obs.export import (
@@ -25,7 +33,30 @@ from repro.obs.export import (
     report_json,
     write_json,
 )
+from repro.obs.flight import (
+    INCIDENT_SCHEMA_VERSION,
+    FlightRecorder,
+    validate_incident,
+)
 from repro.obs.harness import MotionToPhotonHarness, MtpProbeConfig
+from repro.obs.profiler import (
+    NOOP_PROFILER,
+    PROFILE_BUCKETS,
+    NoopProfiler,
+    TickProfiler,
+    guard_overhead_pct,
+)
+from repro.obs.scoreboard import ClientScore, QoeScoreboard
+from repro.obs.slo import (
+    BREACH,
+    HEALTHY,
+    STATE_CODES,
+    WARNING,
+    SloEngine,
+    SloSpec,
+    SloTransition,
+    SloVerdict,
+)
 from repro.obs.report import (
     LATENCY_BUDGET_S,
     MotionToPhotonReport,
@@ -45,26 +76,44 @@ from repro.obs.span import (
 )
 
 __all__ = [
+    "BREACH",
     "CounterRate",
+    "HEALTHY",
+    "INCIDENT_SCHEMA_VERSION",
     "SampleWindow",
+    "STATE_CODES",
+    "WARNING",
     "percentile",
     "MTP_STAGES",
     "NOOP_CONTEXT",
+    "NOOP_PROFILER",
     "NOOP_SPAN",
     "NOOP_TRACER",
     "LATENCY_BUDGET_S",
+    "ClientScore",
+    "FlightRecorder",
     "MotionToPhotonHarness",
     "MotionToPhotonReport",
     "MtpProbeConfig",
+    "NoopProfiler",
     "NoopTracer",
+    "PROFILE_BUCKETS",
+    "QoeScoreboard",
+    "SloEngine",
+    "SloSpec",
+    "SloTransition",
+    "SloVerdict",
     "Span",
     "SpanContext",
     "SpanTracer",
+    "TickProfiler",
     "TraceSummary",
     "chrome_trace",
+    "guard_overhead_pct",
     "metrics_json",
     "prometheus_text",
     "report_json",
     "stage_durations",
+    "validate_incident",
     "write_json",
 ]

@@ -55,6 +55,11 @@ def _histogram_lines(metric: str, histogram: Histogram,
     return lines
 
 
+def _escape_help(text: str) -> str:
+    """Escape ``# HELP`` text per the exposition format (``\\`` and LF)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def prometheus_text(registry: MetricsRegistry,
                     prefix: str = "repro") -> str:
     """Render the registry in the Prometheus text exposition format.
@@ -62,27 +67,36 @@ def prometheus_text(registry: MetricsRegistry,
     Counters and gauges become single samples; trackers become
     ``{quantile=...}``-labeled summaries; histograms (plain and labeled
     families) become cumulative ``_bucket`` series ending at ``+Inf``.
+    Metrics described via ``registry.describe`` (or families built with
+    ``help_text=``) get a ``# HELP`` line ahead of their ``# TYPE``.
     """
 
     lines: List[str] = []
     counters, gauges = registry.counters, registry.gauges
     trackers, histograms = registry.trackers, registry.histograms
+    help_texts = registry.help_texts
 
     def full(name: str) -> str:
         return _prom_name(f"{prefix}_{name}" if prefix else name)
 
+    def header(name: str, metric: str, kind: str) -> None:
+        text = help_texts.get(name, "")
+        if text:
+            lines.append(f"# HELP {metric} {_escape_help(text)}")
+        lines.append(f"# TYPE {metric} {kind}")
+
     for name in sorted(counters):
         metric = full(name)
-        lines.append(f"# TYPE {metric} counter")
+        header(name, metric, "counter")
         lines.append(f"{metric} {_prom_value(counters[name])}")
     for name in sorted(gauges):
         metric = full(name)
-        lines.append(f"# TYPE {metric} gauge")
+        header(name, metric, "gauge")
         lines.append(f"{metric} {_prom_value(gauges[name])}")
     for name in sorted(trackers):
         tracker = trackers[name]
         metric = full(name)
-        lines.append(f"# TYPE {metric} summary")
+        header(name, metric, "summary")
         if len(tracker):
             summary = tracker.summary()
             for quantile, value in (("0.5", summary.p50), ("0.95", summary.p95),
@@ -93,11 +107,11 @@ def prometheus_text(registry: MetricsRegistry,
         lines.append(f"{metric}_count {len(tracker)}")
     for name in sorted(histograms):
         metric = full(name)
-        lines.append(f"# TYPE {metric} histogram")
+        header(name, metric, "histogram")
         lines.extend(_histogram_lines(metric, histograms[name]))
     for name, family in sorted(registry.families.items()):
         metric = full(name)
-        lines.append(f"# TYPE {metric} {family.kind}")
+        header(name, metric, family.kind)
         for label_values, child in family.items():
             labels = label_string(family.label_names, label_values)
             if family.kind == "histogram":
@@ -125,13 +139,16 @@ def _json_safe(value: Any) -> Any:
 
 
 def chrome_trace(spans: Iterable[Span],
-                 time_unit_us: float = 1e6) -> Dict[str, Any]:
+                 time_unit_us: float = 1e6,
+                 process_name: str = "repro pipeline") -> Dict[str, Any]:
     """Spans as a Chrome ``trace_event`` document (Perfetto-loadable).
 
     Each finished span becomes one complete (``"ph": "X"``) event with
     microsecond ``ts``/``dur``; the trace id becomes the ``tid`` so every
     causal chain renders as one horizontal row, and stage is the ``cat``
-    for colour grouping.  Open spans are skipped.
+    for colour grouping.  Open spans are skipped.  Metadata (``"M"``)
+    events name the process (``process_name``) and each trace row, so
+    Perfetto's track labels read as more than bare integers.
     """
     events: List[Dict[str, Any]] = []
     tids = set()
@@ -151,6 +168,10 @@ def chrome_trace(spans: Iterable[Span],
             "args": {key: _json_safe(value)
                      for key, value in span.attrs.items()},
         })
+    events.append({
+        "name": "process_name", "ph": "M", "pid": 1,
+        "args": {"name": process_name},
+    })
     for tid in sorted(tids):
         events.append({
             "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,

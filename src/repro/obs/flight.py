@@ -1,0 +1,353 @@
+"""Incident flight recorder: bounded history, dumped on SLO breach.
+
+When the SLO engine declares a breach, the question is never "what is
+the p95 now" — it is *what was happening in the seconds around the
+violation*: which faults were active, what the control plane decided,
+where the spans went.  This module keeps exactly that context, always:
+
+* a :class:`FlightRecorder` continuously retains the last ``window_s``
+  seconds of metric samples (drained through
+  :class:`~repro.obs.signals.SampleWindow` cursors and time-stamped at
+  poll), plus live references to a span tracer, a
+  :class:`~repro.net.faults.FaultLog`, and a control-decision log
+  (:class:`~repro.cloud.autoscaler.ScaleDecision` s);
+* on breach (or on demand) it dumps a schema-validated
+  ``INCIDENT_<id>.json`` correlating the breach verdict with every
+  retained stream, and a Perfetto-loadable ``INCIDENT_<id>_trace.json``
+  of the windowed spans via :func:`~repro.obs.export.chrome_trace`.
+
+Incident ids are sequence numbers, not wall timestamps, so a seeded
+replay of the same run produces **byte-identical** dump files — the
+property the C3e/C3g benches assert.  The module doubles as the schema
+validator CLI CI runs over emitted dumps::
+
+    PYTHONPATH=src python -m repro.obs.flight --check INCIDENT_*.json
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.export import chrome_trace, write_json
+from repro.obs.signals import SampleWindow
+
+__all__ = [
+    "INCIDENT_SCHEMA_VERSION",
+    "FlightRecorder",
+    "validate_incident",
+]
+
+INCIDENT_SCHEMA_VERSION = 1
+
+
+class FlightRecorder:
+    """Ring-buffered run context, ready to dump at any instant.
+
+    ``poll(now)`` must be called periodically (the SLO evaluation loop
+    is the natural driver): it drains every watched sample source,
+    stamps fresh samples with ``now``, reads gauge probes once, and
+    evicts anything older than ``window_s``.  Sources that already carry
+    timestamps — spans, fault events, control decisions — are kept as
+    live references and filtered by time at dump, so they cost nothing
+    per poll.
+    """
+
+    def __init__(
+        self,
+        window_s: float = 10.0,
+        tracer=None,
+        fault_log=None,
+        decisions: Union[Sequence, Callable[[], Sequence], None] = None,
+        prefix: str = "incident",
+    ):
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        self.window_s = window_s
+        self.tracer = tracer
+        self.fault_log = fault_log
+        self._decisions = decisions
+        self.prefix = prefix
+        self._sample_windows: Dict[str, SampleWindow] = {}
+        self._gauges: Dict[str, Callable[[], float]] = {}
+        #: name -> deque of (t, value) inside the retention window.
+        self._retained: Dict[str, deque] = {}
+        self._sequence = 0
+        self.dumped: List[str] = []
+
+    # -- registration ------------------------------------------------------
+
+    def _reserve(self, name: str) -> None:
+        if name in self._retained:
+            raise ValueError(f"duplicate metric stream {name!r}")
+        self._retained[name] = deque()
+
+    def watch_samples(self, name: str,
+                      source: Callable[[], Sequence[float]]) -> None:
+        """Retain a growing sample list (e.g. ``tracker.samples``).
+
+        Samples are stamped with the poll time they were *drained* at —
+        the metrics layer keeps values, not timestamps, so poll at least
+        as often as the resolution the incident timeline needs.
+        """
+        self._reserve(name)
+        self._sample_windows[name] = SampleWindow(source)
+
+    def watch_gauge(self, name: str, value: Callable[[], float]) -> None:
+        """Retain one probe reading per poll (queue depth, snapshot age...)."""
+        self._reserve(name)
+        self._gauges[name] = value
+
+    # -- retention ---------------------------------------------------------
+
+    def poll(self, now: float) -> None:
+        """Drain sources, stamp fresh points, evict beyond the window."""
+        cutoff = now - self.window_s
+        for name, window in self._sample_windows.items():
+            retained = self._retained[name]
+            for value in window.poll():
+                retained.append((now, float(value)))
+            while retained and retained[0][0] < cutoff:
+                retained.popleft()
+        for name, probe in self._gauges.items():
+            retained = self._retained[name]
+            retained.append((now, float(probe())))
+            while retained and retained[0][0] < cutoff:
+                retained.popleft()
+
+    def _windowed_spans(self, now: float) -> list:
+        if self.tracer is None:
+            return []
+        cutoff = now - self.window_s
+        return [span for span in self.tracer.spans()
+                if span.end is not None and span.end >= cutoff]
+
+    def _windowed_faults(self, now: float) -> List[Dict[str, Any]]:
+        if self.fault_log is None:
+            return []
+        cutoff = now - self.window_s
+        return [
+            {"t": event.time, "kind": event.kind, "target": event.target,
+             "detail": event.detail}
+            for event in self.fault_log
+            if event.time >= cutoff
+        ]
+
+    def _windowed_decisions(self, now: float) -> List[Dict[str, Any]]:
+        if self._decisions is None:
+            return []
+        log = self._decisions() if callable(self._decisions) \
+            else self._decisions
+        cutoff = now - self.window_s
+        return [
+            {"t": decision.t, "action": decision.action,
+             "site": decision.site, "detail": decision.detail}
+            for decision in log
+            if decision.t >= cutoff
+        ]
+
+    # -- dumping -----------------------------------------------------------
+
+    def snapshot(self, now: float) -> Dict[str, Any]:
+        """The retained window as plain data (the incident body)."""
+        spans = self._windowed_spans(now)
+        stages_ms: Dict[str, float] = {}
+        for span in spans:
+            stages_ms[span.stage] = (
+                stages_ms.get(span.stage, 0.0) + span.duration * 1e3)
+        return {
+            "metrics": {
+                name: [[t, value] for t, value in points]
+                for name, points in sorted(self._retained.items())
+            },
+            "faults": self._windowed_faults(now),
+            "decisions": self._windowed_decisions(now),
+            "spans": {"count": len(spans), "stages_ms": stages_ms},
+        }
+
+    def dump_incident(
+        self,
+        now: float,
+        out_dir: Union[str, Path],
+        slo: Optional[Dict[str, Any]] = None,
+        verdicts: Optional[Dict[str, str]] = None,
+        incident_id: Optional[str] = None,
+        with_trace: bool = True,
+    ) -> Tuple[Path, Optional[Path]]:
+        """Write ``INCIDENT_<id>.json`` (+ Perfetto trace); return paths.
+
+        ``slo`` is the triggering verdict context (see
+        :meth:`bind`); ``verdicts`` the full spec->state map at dump
+        time.  Ids default to ``<prefix>-<seq>`` so replays produce the
+        same file names and bytes.
+        """
+        if incident_id is None:
+            self._sequence += 1
+            incident_id = f"{self.prefix}-{self._sequence:03d}"
+        payload: Dict[str, Any] = {
+            "schema": INCIDENT_SCHEMA_VERSION,
+            "incident": incident_id,
+            "t": float(now),
+            "window_s": float(self.window_s),
+            "slo": slo,
+            "verdicts": dict(verdicts or {}),
+        }
+        payload.update(self.snapshot(now))
+        errors = validate_incident(payload)
+        if errors:
+            raise ValueError(
+                f"invalid incident {incident_id!r}: " + "; ".join(errors))
+        out_dir = Path(out_dir)
+        path = write_json(out_dir / f"INCIDENT_{incident_id}.json", payload)
+        trace_path: Optional[Path] = None
+        spans = self._windowed_spans(now) if with_trace else []
+        if spans:
+            trace_path = write_json(
+                out_dir / f"INCIDENT_{incident_id}_trace.json",
+                chrome_trace(spans, process_name=f"incident {incident_id}"))
+        self.dumped.append(incident_id)
+        return path, trace_path
+
+    def bind(self, engine, out_dir: Union[str, Path],
+             dump_on: Sequence[str] = ("breach",),
+             with_trace: bool = True) -> None:
+        """Dump automatically when ``engine`` transitions into ``dump_on``.
+
+        The listener captures the full verdict map at transition time so
+        concurrent SLO states land in the dump — the correlation the
+        adaptation controller will want to read back.
+        """
+        states = tuple(dump_on)
+
+        def listener(transition):
+            if transition.to not in states:
+                return
+            verdict = transition.verdict
+            self.dump_incident(
+                transition.t, out_dir,
+                slo={
+                    "name": transition.slo,
+                    "transition": f"{transition.frm}->{transition.to}",
+                    "state": transition.to,
+                    "fast_burn": verdict.fast_burn,
+                    "slow_burn": verdict.slow_burn,
+                    "indicator": verdict.indicator,
+                },
+                verdicts={name: v.state
+                          for name, v in engine.verdicts().items()},
+                with_trace=with_trace,
+            )
+
+        engine.on_transition(listener)
+
+
+# -- schema ---------------------------------------------------------------
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool) \
+        and math.isfinite(value)
+
+
+def validate_incident(payload: Any) -> List[str]:
+    """Schema violations in an incident payload (empty when valid)."""
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be an object, got {type(payload).__name__}"]
+    if payload.get("schema") != INCIDENT_SCHEMA_VERSION:
+        errors.append(
+            f"schema version {payload.get('schema')!r} != "
+            f"{INCIDENT_SCHEMA_VERSION}")
+    if not isinstance(payload.get("incident"), str) or \
+            not payload.get("incident"):
+        errors.append("missing or empty incident id")
+    for key in ("t", "window_s"):
+        if not _is_number(payload.get(key)):
+            errors.append(f"key {key!r} must be a finite number")
+    slo = payload.get("slo")
+    if slo is not None:
+        if not isinstance(slo, dict):
+            errors.append("slo must be an object or null")
+        else:
+            if not isinstance(slo.get("name"), str):
+                errors.append("slo.name must be a string")
+            for key in ("fast_burn", "slow_burn"):
+                if key in slo and not _is_number(slo[key]):
+                    errors.append(f"slo.{key} must be a finite number")
+    verdicts = payload.get("verdicts")
+    if not isinstance(verdicts, dict) or any(
+            not isinstance(k, str) or not isinstance(v, str)
+            for k, v in (verdicts or {}).items()):
+        errors.append("verdicts must map SLO names to states")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append("metrics must be an object")
+    else:
+        for name, points in metrics.items():
+            if not isinstance(points, list) or any(
+                    not (isinstance(p, list) and len(p) == 2
+                         and _is_number(p[0]) and _is_number(p[1]))
+                    for p in points):
+                errors.append(f"metrics[{name!r}] must be [t, value] pairs")
+    faults = payload.get("faults")
+    if not isinstance(faults, list) or any(
+            not (isinstance(f, dict) and _is_number(f.get("t"))
+                 and isinstance(f.get("kind"), str)
+                 and isinstance(f.get("target"), str))
+            for f in (faults if isinstance(faults, list) else [])):
+        errors.append("faults must be a list of {t, kind, target} objects")
+    decisions = payload.get("decisions")
+    if not isinstance(decisions, list) or any(
+            not (isinstance(d, dict) and _is_number(d.get("t"))
+                 and isinstance(d.get("action"), str))
+            for d in (decisions if isinstance(decisions, list) else [])):
+        errors.append("decisions must be a list of {t, action} objects")
+    spans = payload.get("spans")
+    if not isinstance(spans, dict) or not isinstance(
+            spans.get("count"), int) or isinstance(spans.get("count"), bool):
+        errors.append("spans must be an object with an integer count")
+    elif not isinstance(spans.get("stages_ms"), dict) or any(
+            not _is_number(v) for v in spans["stages_ms"].values()):
+        errors.append("spans.stages_ms must map stages to numbers")
+    return errors
+
+
+# -- validator CLI --------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Validate INCIDENT_<id>.json flight-recorder dumps")
+    parser.add_argument("--check", nargs="+", metavar="FILE", required=True)
+    args = parser.parse_args(argv)
+    failures = 0
+    for name in args.check:
+        path = Path(name)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable ({exc})")
+            failures += 1
+            continue
+        errors = validate_incident(payload)
+        if errors:
+            failures += 1
+            print(f"{path}: INVALID")
+            for error in errors:
+                print(f"  - {error}")
+        else:
+            slo = payload.get("slo") or {}
+            print(f"{path}: ok (slo={slo.get('name', '-')}, "
+                  f"{len(payload['faults'])} faults, "
+                  f"{len(payload['decisions'])} decisions, "
+                  f"{payload['spans']['count']} spans)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

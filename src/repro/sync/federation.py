@@ -143,6 +143,7 @@ class ShardRelay:
         link: Link,
         interest: InterestManager,
         encoder: DeltaEncoder,
+        profiler=None,
     ):
         self.service = service
         self.src_site = src_site
@@ -150,6 +151,10 @@ class ShardRelay:
         self.link = link
         self.interest = interest
         self.encoder = encoder
+        if profiler is None:
+            from repro.obs.profiler import NOOP_PROFILER
+            profiler = NOOP_PROFILER
+        self.profiler = profiler
         #: Latest digest from the destination: its home subscribers'
         #: positions, the subjects this relay computes relevance for.
         self.remote_subjects: Dict[str, np.ndarray] = {}
@@ -219,13 +224,20 @@ class ShardRelay:
         src = service.shards.get(self.src_site)
         if src is None or src.crashed:
             return None
+        prof = self.profiler
+        if prof.enabled:
+            prof.begin("relay_encode")
         if isinstance(self.encoder, BatchDeltaEncoder):
             states, removed, full, states_bytes = self._encode_batch(src)
         else:
             states, removed, full, states_bytes = self._encode_scalar(src)
         digest = service.home_subscriber_digest(self.src_site)
         if not states and not removed and not digest:
+            if prof.enabled:
+                prof.end()
             return None
+        if prof.enabled:
+            prof.switch("relay_send")
         delta = ShardDelta(
             src_site=self.src_site,
             dst_site=self.dst_site,
@@ -257,6 +269,8 @@ class ShardRelay:
         self.states_forwarded += len(states)
         self.bytes_sent += delta.size_bytes
         self.link.send(packet, service._on_shard_delta_packet)
+        if prof.enabled:
+            prof.end()
         return delta
 
 
@@ -314,6 +328,7 @@ class ShardedSyncService:
         default_access_delay: float = 0.005,
         name: str = "fed",
         vectorized: bool = True,
+        profiler=None,
     ):
         if not plan.sites:
             raise ValueError("plan has no sites")
@@ -357,6 +372,12 @@ class ShardedSyncService:
         self.entity_home: Dict[str, str] = {}
         self.clients: Dict[str, FederatedClient] = {}
         self.vectorized = vectorized
+        if profiler is None:
+            from repro.obs.profiler import NOOP_PROFILER
+            profiler = NOOP_PROFILER
+        #: One tick-phase profiler shared by every shard and relay, so
+        #: the hot-phase table spans the whole federation.
+        self.profiler = profiler
         #: Owner code per site (1-based; ``OWNER_LOCAL`` = 0 marks locally
         #: authoritative slots).  Ghost entities applied from a relay are
         #: tagged with their home shard's code straight in the world's SoA
@@ -385,6 +406,7 @@ class ShardedSyncService:
             cost_model=self._cost_model,
             keyframe_interval=self._keyframe_interval,
             vectorized=self.vectorized,
+            profiler=self.profiler,
         )
 
     def _make_relay(self, src: str, dst: str) -> ShardRelay:
@@ -402,6 +424,7 @@ class ShardedSyncService:
             self, src, dst, link,
             interest=InterestManager(self.interest_config),
             encoder=relay_encoder,
+            profiler=self.profiler,
         )
 
     # -- geography ---------------------------------------------------------

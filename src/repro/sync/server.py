@@ -88,9 +88,18 @@ class SyncServer:
         keyframe_interval: int = 30,
         metrics: Optional[MetricsRegistry] = None,
         vectorized: bool = True,
+        profiler=None,
     ):
         if tick_rate_hz <= 0:
             raise ValueError("tick rate must be positive")
+        if profiler is None:
+            # Imported lazily: repro.obs pulls in the MTP harness, which
+            # imports this module (same cycle simkit.engine dodges).
+            from repro.obs.profiler import NOOP_PROFILER
+            profiler = NOOP_PROFILER
+        #: Tick-phase profiler (``repro.obs.profiler``); the shared no-op
+        #: by default, so the hot path pays one guard per phase boundary.
+        self.profiler = profiler
         self.sim = sim
         self.name = name
         self.tick_period = 1.0 / tick_rate_hz
@@ -300,7 +309,10 @@ class SyncServer:
         shared by every subscriber receiving it.
         """
         obs = self.sim.obs
+        prof = self.profiler
         world = self.world
+        if prof.enabled:
+            prof.begin("apply")
         updates, self._pending = self._pending, []
         if updates:
             world.apply_many([update.state for update in updates])
@@ -322,11 +334,15 @@ class SyncServer:
             int(inverse[world.slot_of(e)])
             for e in self.interest.config.always_relevant if e in world
         ), dtype=np.int64)
+        if prof.enabled:
+            prof.switch("interest")
         offsets, flat = self.interest.relevant_indices_batch(
             points, subject_points, self_rows, always_rows,
             world.lexicographic_ranks())
         pairs_scanned = self.interest.last_pairs_scanned
         flat_slots = slots[flat] if len(flat) else flat
+        if prof.enabled:
+            prof.switch("delta")
         send_mask, full_flags, removed_lists = self.encoder.encode_batch(
             world, sub_ids, offsets, flat_slots)
 
@@ -354,6 +370,8 @@ class SyncServer:
             ) / max(1, s)
         spanned: set = set()
 
+        if prof.enabled:
+            prof.switch("serialize")
         states_sent = 0
         # One flat zero-copy pass over everything sent this tick (CSR
         # order groups it by subscriber already); the per-subscriber loop
@@ -407,6 +425,8 @@ class SyncServer:
             self.metrics.incr("snapshot_bytes", snapshot.size_bytes)
             self.metrics.incr("snapshots_sent")
             sends[i](snapshot)
+        if prof.enabled:
+            prof.end()
         cost = self.cost_model.tick_cost(
             len(updates), s, n, states_sent, pairs_scanned=pairs_scanned)
         if obs.enabled:
@@ -425,10 +445,15 @@ class SyncServer:
     def _tick_scalar(self) -> float:
         """The scalar per-subscriber tick (oracle and fallback path)."""
         obs = self.sim.obs
+        prof = self.profiler
+        if prof.enabled:
+            prof.begin("apply")
         updates, self._pending = self._pending, []
         for update in updates:
             self.world.apply(update.state)
         positions = self.world.positions()
+        if prof.enabled:
+            prof.switch("interest")
         relevant_sets, pairs_scanned = self._relevant_sets(positions)
 
         # Attribute the wait between ingest and this tick to each traced
@@ -456,10 +481,20 @@ class SyncServer:
             ) / n_subs
         spanned: set = set()
 
+        if prof.enabled:
+            prof.switch("serialize")
         states_sent = 0
         for client_id, send in self._subscribers.items():
             relevant = relevant_sets[client_id]
-            states, removed, full = self.encoder.encode(client_id, self.world, relevant)
+            if prof.enabled:
+                # Nested: delta self-time is carved out of serialize.
+                prof.begin("delta")
+                states, removed, full = self.encoder.encode(
+                    client_id, self.world, relevant)
+                prof.end()
+            else:
+                states, removed, full = self.encoder.encode(
+                    client_id, self.world, relevant)
             if not states and not removed:
                 continue
             snapshot = ServerSnapshot(
@@ -493,6 +528,8 @@ class SyncServer:
             self.metrics.incr("snapshot_bytes", snapshot.size_bytes)
             self.metrics.incr("snapshots_sent")
             send(snapshot)
+        if prof.enabled:
+            prof.end()
         cost = self.cost_model.tick_cost(
             len(updates), len(self._subscribers), len(self.world), states_sent,
             pairs_scanned=pairs_scanned,

@@ -77,7 +77,9 @@ def test_chrome_trace_rows_per_trace_and_skips_open_spans():
     assert uplink["ts"] == 0.0 and uplink["dur"] == pytest.approx(10_000.0)
     assert uplink["cat"] == "uplink"
     assert uplink["args"] == {"size": 88, "kind": "pose"}
-    assert meta[0]["args"]["name"] == f"trace {root.trace_id}"
+    assert meta[0]["name"] == "process_name"
+    thread_meta = [e for e in meta if e["name"] == "thread_name"]
+    assert thread_meta[0]["args"]["name"] == f"trace {root.trace_id}"
     json.dumps(document)  # round-trips
     del open_span
 

@@ -1,0 +1,184 @@
+"""Strict-parser round trips for the exposition formats.
+
+``prometheus_text`` is parsed line by line with the exposition-format
+grammar (HELP/TYPE comments, escaped label values, cumulative buckets)
+and the decoded samples are checked against the registry that produced
+them; ``chrome_trace`` output is checked against the trace_event JSON
+schema Perfetto expects.  These are the contract tests the scrape side
+of the obs stack relies on.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.metrics.collector import MetricsRegistry
+from repro.metrics.histogram import escape_label_value, label_string
+from repro.obs.export import chrome_trace, prometheus_text
+from repro.obs.span import SpanTracer
+
+pytestmark = pytest.mark.obs
+
+LABEL_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+SAMPLE_RE = re.compile(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'
+                       r'(?:\{(.*)\})? (\S+)$')
+UNESCAPE = {"\\\\": "\\", '\\"': '"', "\\n": "\n"}
+
+
+def unescape_label_value(value):
+    out, i = [], 0
+    while i < len(value):
+        pair = value[i:i + 2]
+        if pair in UNESCAPE:
+            out.append(UNESCAPE[pair])
+            i += 2
+        else:
+            assert value[i] != "\\", f"stray escape in {value!r}"
+            out.append(value[i])
+            i += 1
+    return "".join(out)
+
+
+def parse_exposition(text):
+    """Strict parse: returns (samples, types, helps).
+
+    ``samples`` maps ``(name, frozenset(labels))`` to float values.
+    Raises AssertionError on any line the exposition grammar rejects.
+    """
+    assert text.endswith("\n")
+    samples, types, helps = {}, {}, {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP "):].partition(" ")
+            assert name not in helps, f"duplicate HELP for {name}"
+            helps[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            assert kind in {"counter", "gauge", "summary", "histogram"}
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment {line!r}"
+        match = SAMPLE_RE.match(line)
+        assert match, f"unparseable sample line {line!r}"
+        name, label_body, value = match.groups()
+        labels = {}
+        if label_body:
+            matched = LABEL_RE.findall(label_body)
+            rebuilt = ",".join(f'{k}="{v}"' for k, v in matched)
+            assert rebuilt == label_body, f"bad label syntax {label_body!r}"
+            labels = {k: unescape_label_value(v) for k, v in matched}
+        key = (name, frozenset(labels.items()))
+        assert key not in samples, f"duplicate sample {key}"
+        samples[key] = float(value)
+    # Every sample belongs to a declared metric family.
+    declared = set(types)
+    for name, _ in samples:
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert name in declared or base in declared, \
+            f"sample {name} has no TYPE"
+    # HELP always refers to a declared family.
+    assert set(helps) <= declared
+    return samples, types, helps
+
+
+def build_registry():
+    registry = MetricsRegistry()
+    registry.incr("packets", 3)
+    registry.set_gauge("occupancy", 0.5)
+    tracker = registry.tracker("rtt")
+    tracker.record(0.020)
+    tracker.record(0.040)
+    histogram = registry.histogram("lat", buckets=(0.01, 0.1))
+    for value in (0.005, 0.05, 0.5):
+        histogram.observe(value)
+    family = registry.counter_family(
+        "link_drops", ("path",), help_text="Drops per link path")
+    family.labels(path='wan\\edge "hk"\nup').inc(2)
+    family.labels(path="lan").inc(1)
+    registry.describe("occupancy", "Fill fraction\nof the shard")
+    return registry
+
+
+def test_round_trip_names_types_and_values():
+    samples, types, helps = parse_exposition(
+        prometheus_text(build_registry()))
+    assert types["repro_packets"] == "counter"
+    assert types["repro_lat"] == "histogram"
+    assert types["repro_link_drops"] == "counter"
+    assert samples[("repro_packets", frozenset())] == 3.0
+    assert samples[("repro_occupancy", frozenset())] == 0.5
+    assert samples[("repro_rtt_count", frozenset())] == 2.0
+
+
+def test_round_trip_escaped_label_values():
+    samples, _, _ = parse_exposition(prometheus_text(build_registry()))
+    nasty = 'wan\\edge "hk"\nup'
+    assert samples[("repro_link_drops",
+                    frozenset({("path", nasty)}))] == 2.0
+    assert samples[("repro_link_drops",
+                    frozenset({("path", "lan")}))] == 1.0
+    # The escaper is exactly invertible on the wire format.
+    assert unescape_label_value(escape_label_value(nasty)) == nasty
+    assert label_string(("path",), (nasty,)) == \
+        '{path="wan\\\\edge \\"hk\\"\\nup"}'
+
+
+def test_round_trip_histogram_invariants():
+    samples, _, _ = parse_exposition(prometheus_text(build_registry()))
+    buckets = sorted(
+        ((dict(labels)["le"], value)
+         for (name, labels) in samples
+         if name == "repro_lat_bucket"
+         for value in [samples[(name, labels)]]),
+        key=lambda item: float("inf") if item[0] == "+Inf"
+        else float(item[0]))
+    counts = [value for _, value in buckets]
+    assert counts == sorted(counts), "buckets must be cumulative"
+    assert buckets[-1][0] == "+Inf"
+    assert counts[-1] == samples[("repro_lat_count", frozenset())] == 3.0
+    assert samples[("repro_lat_sum", frozenset())] == pytest.approx(0.555)
+
+
+def test_round_trip_help_text_is_escaped_single_line():
+    text = prometheus_text(build_registry())
+    _, _, helps = parse_exposition(text)
+    # Literal newlines in help text must be escaped onto one line.
+    assert helps["repro_occupancy"] == "Fill fraction\\nof the shard"
+    assert helps["repro_link_drops"] == "Drops per link path"
+    assert "# HELP repro_occupancy Fill fraction\\nof the shard\n" in text
+
+
+def test_chrome_trace_matches_trace_event_schema():
+    tracer = SpanTracer(clock=lambda: 0.0)
+    root = tracer.start_trace("mtp", "capture", start=0.0)
+    tracer.record_span("link:up", "uplink", 0.0, 0.010, parent=root)
+    root.finish(0.020)
+    second = tracer.start_trace("mtp", "capture", start=1.0)
+    second.finish(1.5)
+    document = chrome_trace(tracer.spans(), process_name="test proc")
+    assert set(document) == {"traceEvents", "displayTimeUnit"}
+    assert document["displayTimeUnit"] == "ms"
+    events = document["traceEvents"]
+    json.loads(json.dumps(document))  # plain-JSON serializable
+    for event in events:
+        assert event["ph"] in {"X", "M"}
+        assert isinstance(event["name"], str)
+        assert isinstance(event["pid"], int)
+        if event["ph"] == "X":
+            assert isinstance(event["tid"], int)
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert event["dur"] >= 0.0
+            assert isinstance(event["cat"], str)
+    meta = [e for e in events if e["ph"] == "M"]
+    assert meta[0]["name"] == "process_name"
+    assert meta[0]["args"]["name"] == "test proc"
+    thread_meta = [e for e in meta if e["name"] == "thread_name"]
+    tids = {e["tid"] for e in events if e["ph"] == "X"}
+    assert {e["tid"] for e in thread_meta} == tids
+    assert len(thread_meta) == len(tids) == 2

@@ -1,0 +1,175 @@
+"""Flight recorder: retention, incident dumps, schema, replay identity."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs.flight import (
+    INCIDENT_SCHEMA_VERSION,
+    FlightRecorder,
+    validate_incident,
+)
+from repro.obs.flight import main as flight_main
+from repro.obs.slo import SloEngine, SloSpec
+from repro.obs.span import SpanTracer
+
+pytestmark = [pytest.mark.obs, pytest.mark.slo]
+
+
+def fault(t, kind="crash", target="srv"):
+    return SimpleNamespace(time=t, kind=kind, target=target, detail="")
+
+
+def decision(t, action="split", site="tokyo"):
+    return SimpleNamespace(t=t, action=action, site=site, detail="")
+
+
+def test_poll_retains_and_evicts_samples():
+    samples = []
+    recorder = FlightRecorder(window_s=2.0)
+    recorder.watch_samples("lat", lambda: samples)
+    samples.extend([0.1, 0.2])
+    recorder.poll(1.0)
+    samples.append(0.3)
+    recorder.poll(4.0)  # the t=1.0 points fall out of the 2 s window
+    assert recorder.snapshot(4.0)["metrics"]["lat"] == [[4.0, 0.3]]
+
+
+def test_gauge_probe_read_once_per_poll():
+    depth = {"value": 1.0}
+    recorder = FlightRecorder(window_s=10.0)
+    recorder.watch_gauge("backlog", lambda: depth["value"])
+    recorder.poll(0.0)
+    depth["value"] = 5.0
+    recorder.poll(1.0)
+    assert recorder.snapshot(1.0)["metrics"]["backlog"] == [
+        [0.0, 1.0], [1.0, 5.0]]
+
+
+def test_duplicate_stream_name_rejected():
+    recorder = FlightRecorder()
+    recorder.watch_samples("lat", lambda: [])
+    with pytest.raises(ValueError):
+        recorder.watch_gauge("lat", lambda: 0.0)
+    with pytest.raises(ValueError):
+        FlightRecorder(window_s=0.0)
+
+
+def test_snapshot_windows_faults_and_decisions():
+    log = [fault(0.5), fault(8.0)]
+    decisions = [decision(1.0), decision(9.0)]
+    recorder = FlightRecorder(window_s=3.0, fault_log=log,
+                              decisions=lambda: decisions)
+    snap = recorder.snapshot(10.0)
+    assert [f["t"] for f in snap["faults"]] == [8.0]
+    assert [d["t"] for d in snap["decisions"]] == [9.0]
+    assert snap["decisions"][0]["action"] == "split"
+
+
+def test_dump_incident_is_schema_valid_and_sequenced(tmp_path):
+    recorder = FlightRecorder(window_s=5.0, prefix="t")
+    recorder.watch_gauge("age", lambda: 0.25)
+    recorder.poll(1.0)
+    path, trace_path = recorder.dump_incident(1.0, tmp_path)
+    assert path.name == "INCIDENT_t-001.json"
+    assert trace_path is None  # no tracer attached
+    payload = json.loads(path.read_text())
+    assert validate_incident(payload) == []
+    assert payload["schema"] == INCIDENT_SCHEMA_VERSION
+    assert payload["metrics"]["age"] == [[1.0, 0.25]]
+    path2, _ = recorder.dump_incident(2.0, tmp_path)
+    assert path2.name == "INCIDENT_t-002.json"
+    assert recorder.dumped == ["t-001", "t-002"]
+
+
+def test_dumps_are_byte_identical_across_replays(tmp_path):
+    def run(out_dir):
+        samples = []
+        recorder = FlightRecorder(window_s=4.0, fault_log=[fault(1.5)],
+                                  prefix="rep")
+        recorder.watch_samples("lat", lambda: samples)
+        samples.extend([0.1, 0.9])
+        recorder.poll(1.0)
+        samples.append(0.2)
+        recorder.poll(2.0)
+        path, _ = recorder.dump_incident(2.0, out_dir)
+        return path
+
+    a = run(tmp_path / "a")
+    b = run(tmp_path / "b")
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_windowed_spans_land_in_dump_and_trace_file(tmp_path):
+    tracer = SpanTracer(clock=lambda: 0.0)
+    root = tracer.start_trace("mtp", "capture", start=0.0)
+    tracer.record_span("old", "wan", 0.0, 1.0, parent=root)
+    tracer.record_span("fresh", "wan", 9.0, 9.5, parent=root)
+    root.finish(9.5)
+    recorder = FlightRecorder(window_s=3.0, tracer=tracer)
+    path, trace_path = recorder.dump_incident(10.0, tmp_path)
+    payload = json.loads(path.read_text())
+    # Only spans ending inside the window: "fresh" (and the root itself).
+    assert payload["spans"]["count"] == 2
+    assert payload["spans"]["stages_ms"]["wan"] == pytest.approx(500.0)
+    document = json.loads(trace_path.read_text())
+    names = {e["name"] for e in document["traceEvents"] if e["ph"] == "X"}
+    assert names == {"fresh", "mtp"}
+
+
+def test_bind_dumps_on_breach_with_verdict_context(tmp_path):
+    samples = [0.5, 0.5]
+    engine = SloEngine()
+    engine.watch(
+        SloSpec("lat", objective=0.1, budget_fraction=0.1,
+                fast_window_s=1.0, slow_window_s=2.0),
+        lambda: samples)
+    recorder = FlightRecorder(window_s=2.0, prefix="auto")
+    recorder.watch_samples("lat_s", lambda: samples)
+    recorder.bind(engine, tmp_path)
+    recorder.poll(1.0)
+    engine.evaluate(1.0)
+    assert recorder.dumped == ["auto-001"]
+    payload = json.loads((tmp_path / "INCIDENT_auto-001.json").read_text())
+    assert payload["slo"]["name"] == "lat"
+    assert payload["slo"]["transition"] == "healthy->breach"
+    assert payload["verdicts"] == {"lat": "breach"}
+    # Recovery (breach -> healthy) is not in dump_on: nothing new dumps.
+    engine.evaluate(10.0)
+    engine.evaluate(11.0)
+    engine.evaluate(12.0)
+    assert recorder.dumped == ["auto-001"]
+
+
+def test_validate_incident_rejects_malformed_payloads():
+    recorder = FlightRecorder(prefix="v")
+    recorder.watch_gauge("g", lambda: 1.0)
+    recorder.poll(0.0)
+    good = {"schema": INCIDENT_SCHEMA_VERSION, "incident": "v-001",
+            "t": 0.0, "window_s": 10.0, "slo": None, "verdicts": {}}
+    good.update(recorder.snapshot(0.0))
+    assert validate_incident(good) == []
+    assert validate_incident([]) != []
+    assert validate_incident({**good, "schema": 99}) != []
+    assert validate_incident({**good, "incident": ""}) != []
+    assert validate_incident({**good, "t": float("nan")}) != []
+    assert validate_incident({**good, "slo": {"name": 3}}) != []
+    assert validate_incident({**good, "verdicts": {"a": 1}}) != []
+    assert validate_incident({**good, "metrics": {"g": [[0.0]]}}) != []
+    assert validate_incident({**good, "faults": [{"t": 0.0}]}) != []
+    assert validate_incident({**good, "decisions": [{"action": "x"}]}) != []
+    assert validate_incident({**good, "spans": {"count": 1.5}}) != []
+
+
+def test_validator_cli_exit_codes(tmp_path, capsys):
+    recorder = FlightRecorder(prefix="cli")
+    recorder.watch_gauge("g", lambda: 1.0)
+    recorder.poll(0.0)
+    path, _ = recorder.dump_incident(0.0, tmp_path)
+    assert flight_main(["--check", str(path)]) == 0
+    assert "ok" in capsys.readouterr().out
+    bad = tmp_path / "INCIDENT_bad.json"
+    bad.write_text(json.dumps({"schema": 99}))
+    assert flight_main(["--check", str(path), str(bad)]) == 1
+    assert "INVALID" in capsys.readouterr().out

@@ -1,0 +1,126 @@
+"""Per-client QoE scoreboard: rolling scores, sickness accrual, export."""
+
+import pytest
+
+from repro.metrics.collector import MetricsRegistry
+from repro.obs.export import prometheus_text
+from repro.obs.scoreboard import QoeScoreboard
+from repro.sickness.susceptibility import UserTraits
+
+pytestmark = pytest.mark.obs
+
+
+def test_constructor_and_registration_validation():
+    with pytest.raises(ValueError):
+        QoeScoreboard(window_s=0.0)
+    with pytest.raises(ValueError):
+        QoeScoreboard(latency_percentile=101.0)
+    board = QoeScoreboard()
+    board.add_client("amy", lambda: [])
+    with pytest.raises(ValueError):
+        board.add_client("amy", lambda: [])
+    with pytest.raises(ValueError):
+        board.add_client("bob", lambda: [], susceptibility=0.0)
+    assert "amy" in board and len(board) == 1
+
+
+def test_latency_regression_drops_performance():
+    samples = []
+    board = QoeScoreboard(window_s=5.0)
+    board.add_client("amy", lambda: samples)
+    samples.extend([0.020, 0.025])
+    board.poll(1.0)
+    good = board.score("amy")
+    fast_perf = good.performance
+    assert good.latency_p_s == pytest.approx(0.025, rel=0.01)
+    assert board.noticeable() == []
+    samples.extend([0.300, 0.350])   # the regression
+    board.poll(2.0)
+    assert good.latency_p_s > 0.25
+    assert good.performance < fast_perf
+    assert board.noticeable() == ["amy"]
+    assert board.worst(1)[0].client == "amy"
+
+
+def test_window_eviction_forgets_old_latency():
+    samples = [0.400]
+    board = QoeScoreboard(window_s=2.0)
+    board.add_client("amy", lambda: samples)
+    board.poll(0.0)
+    assert board.score("amy").latency_p_s == pytest.approx(0.4)
+    samples.append(0.020)
+    board.poll(5.0)   # the 400 ms point aged out of the window
+    assert board.score("amy").latency_p_s == pytest.approx(0.02)
+
+
+def test_sickness_accrues_whole_owed_seconds():
+    samples = [0.250]
+    board = QoeScoreboard(window_s=10.0)
+    board.add_client("amy", lambda: samples, susceptibility=1.5)
+    board.poll(0.0)
+    assert board.score("amy").sickness == 0.0
+    # Four 0.3 s polls bank 1.2 s: one whole second integrates.
+    for i in range(1, 5):
+        board.poll(i * 0.3, dt_s=0.3)
+    sick_once = board.score("amy").sickness
+    assert sick_once > 0.0
+    # Refresh-only polls (no dt) never accrue exposure.
+    board.poll(2.0)
+    assert board.score("amy").sickness == sick_once
+    with pytest.raises(ValueError):
+        board.poll(3.0, dt_s=-1.0)
+
+
+def test_susceptible_clients_sicken_faster():
+    samples = [0.250]
+    board = QoeScoreboard(window_s=10.0)
+    board.add_client("hardy", lambda: samples, susceptibility=0.5)
+    board.add_client("prone", lambda: samples, susceptibility=2.0)
+    for i in range(1, 4):
+        board.poll(float(i), dt_s=1.0)
+    assert (board.score("prone").sickness
+            > board.score("hardy").sickness > 0.0)
+    worst = board.worst(2)
+    assert [s.client for s in worst] == ["prone", "hardy"]
+
+
+def test_traits_feed_the_fuzzy_susceptibility_system():
+    board = QoeScoreboard()
+    prone = board.add_client(
+        "prone", lambda: [],
+        traits=UserTraits(age_years=62.0, gaming_hours_per_week=0.0,
+                          prior_vr_sessions=0))
+    hardy = board.add_client(
+        "hardy", lambda: [],
+        traits=UserTraits(age_years=22.0, gaming_hours_per_week=30.0,
+                          prior_vr_sessions=50))
+    assert prone.susceptibility > hardy.susceptibility > 0.0
+
+
+def test_fingerprint_is_replay_stable():
+    def run():
+        samples = []
+        board = QoeScoreboard(window_s=5.0)
+        board.add_client("amy", lambda: samples, susceptibility=1.2)
+        board.add_client("bob", lambda: [0.050])
+        samples.extend([0.120, 0.180])
+        board.poll(1.0, dt_s=1.0)
+        board.poll(2.0, dt_s=1.0)
+        return board.fingerprint()
+
+    first, second = run(), run()
+    assert first == second
+    assert "amy perf=" in first and "bob perf=" in first
+
+
+def test_to_registry_exports_client_labeled_gauges():
+    board = QoeScoreboard()
+    board.add_client("amy", lambda: [0.200], susceptibility=1.5)
+    board.poll(1.0, dt_s=2.0)
+    registry = MetricsRegistry()
+    board.to_registry(registry)
+    text = prometheus_text(registry)
+    assert 'repro_qoe_performance{client="amy"}' in text
+    assert 'repro_qoe_latency_p_s{client="amy"} 0.2' in text
+    assert 'repro_qoe_susceptibility{client="amy"} 1.5' in text
+    assert '# HELP repro_qoe_sickness_state' in text

@@ -1,0 +1,152 @@
+"""SLO engine: multi-window burn rates, hysteresis, transitions, export."""
+
+import pytest
+
+from repro.metrics.collector import MetricsRegistry
+from repro.obs.export import prometheus_text
+from repro.obs.slo import (
+    BREACH,
+    HEALTHY,
+    STATE_CODES,
+    WARNING,
+    SloEngine,
+    SloSpec,
+)
+
+pytestmark = [pytest.mark.obs, pytest.mark.slo]
+
+
+def make_spec(**overrides):
+    base = dict(name="latency", objective=0.1, budget_fraction=0.1,
+                fast_window_s=1.0, slow_window_s=4.0,
+                breach_burn=2.0, warn_burn=1.0, clear_polls=2)
+    base.update(overrides)
+    return SloSpec(**base)
+
+
+@pytest.mark.parametrize("overrides", [
+    {"name": ""},
+    {"objective": -1.0},
+    {"budget_fraction": 0.0},
+    {"budget_fraction": 1.5},
+    {"fast_window_s": 5.0, "slow_window_s": 1.0},
+    {"warn_burn": 3.0, "breach_burn": 2.0},
+    {"clear_polls": 0},
+    {"percentile": 101.0},
+])
+def test_spec_validation(overrides):
+    with pytest.raises(ValueError):
+        make_spec(**overrides)
+
+
+def test_all_good_samples_stay_healthy():
+    samples = [0.01, 0.02, 0.03]
+    engine = SloEngine()
+    engine.watch(make_spec(), lambda: samples)
+    (verdict,) = engine.evaluate(1.0)
+    assert verdict.state == HEALTHY
+    assert verdict.fast_burn == 0.0 and verdict.slow_burn == 0.0
+    assert verdict.samples == 3 and verdict.bad == 0
+    assert engine.fingerprint() == ""  # healthy->healthy: no transition
+
+
+def test_breach_needs_both_windows_burning():
+    # 9 good samples dilute the slow window: one bad sample saturates
+    # the fast burn but the slow burn sits at exactly 1.0 -> WARNING.
+    samples = [0.01] * 9
+    engine = SloEngine()
+    engine.watch(make_spec(fast_window_s=0.5), lambda: samples)
+    engine.evaluate(1.0)
+    samples.append(0.5)
+    (verdict,) = engine.evaluate(2.0)
+    assert verdict.fast_burn >= 2.0
+    assert verdict.slow_burn == pytest.approx(1.0)
+    assert verdict.state == WARNING
+    # Three more bad samples push the slow window over too -> BREACH.
+    samples.extend([0.5, 0.5, 0.5])
+    (verdict,) = engine.evaluate(3.0)
+    assert verdict.state == BREACH
+    assert engine.breach_count("latency") == 1
+    assert engine.state("latency") == BREACH
+
+
+def test_breach_demotion_needs_clear_polls():
+    samples = [0.5, 0.5]
+    engine = SloEngine()
+    engine.watch(make_spec(clear_polls=2), lambda: samples)
+    engine.evaluate(1.0)
+    assert engine.state("latency") == BREACH
+    # Bad points age out of the slow window; burns drop to zero, but the
+    # first clean evaluation must not demote (hysteresis).
+    (verdict,) = engine.evaluate(10.0)
+    assert verdict.fast_burn == 0.0 and verdict.slow_burn == 0.0
+    assert verdict.state == BREACH
+    (verdict,) = engine.evaluate(11.0)
+    assert verdict.state == HEALTHY
+    lines = engine.fingerprint().splitlines()
+    assert lines == ["1.0 latency healthy->breach",
+                     "11.0 latency breach->healthy"]
+
+
+def test_escalation_is_immediate_even_mid_streak():
+    samples = [0.5]
+    engine = SloEngine()
+    engine.watch(make_spec(clear_polls=3), lambda: samples)
+    engine.evaluate(1.0)
+    assert engine.state("latency") == BREACH
+    engine.evaluate(10.0)           # clean poll 1 of 3: still breach
+    samples.append(0.5)             # the indicator relapses
+    (verdict,) = engine.evaluate(10.5)
+    assert verdict.state == BREACH
+    # Relapse inside the hold-down is not a *new* breach entry.
+    assert engine.breach_count() == 1
+
+
+def test_watch_gauge_with_good_predicate():
+    depth = {"value": 0.0}
+    engine = SloEngine()
+    engine.watch_gauge(
+        make_spec(name="backlog", objective=0.0, fast_window_s=0.5,
+                  slow_window_s=0.5, clear_polls=1),
+        lambda: depth["value"], good=lambda v: v < 1.0)
+    (verdict,) = engine.evaluate(0.0)
+    assert verdict.state == HEALTHY and verdict.samples == 1
+    depth["value"] = 3.0
+    (verdict,) = engine.evaluate(1.0)
+    assert verdict.state == BREACH
+    assert verdict.indicator == pytest.approx(3.0)
+
+
+def test_duplicate_spec_name_rejected():
+    engine = SloEngine()
+    engine.watch(make_spec(), lambda: [])
+    with pytest.raises(ValueError):
+        engine.watch_gauge(make_spec(), lambda: 0.0)
+
+
+def test_transition_listeners_fire_in_sorted_spec_order():
+    seen = []
+    engine = SloEngine()
+    engine.watch(make_spec(name="b_slo"), lambda: [0.5])
+    engine.watch(make_spec(name="a_slo"), lambda: [0.5])
+    engine.on_transition(lambda tr: seen.append((tr.slo, tr.frm, tr.to)))
+    engine.evaluate(1.0)
+    assert seen == [("a_slo", HEALTHY, BREACH), ("b_slo", HEALTHY, BREACH)]
+    assert [v.slo for v in engine.verdicts().values()] == ["a_slo", "b_slo"]
+
+
+def test_to_registry_exports_states_burns_and_help():
+    engine = SloEngine()
+    engine.watch(make_spec(), lambda: [0.5, 0.5])
+    engine.evaluate(1.0)
+    registry = MetricsRegistry()
+    engine.to_registry(registry)
+    text = prometheus_text(registry)
+    assert f'repro_slo_state{{slo="latency"}} {STATE_CODES[BREACH]}' in text
+    assert 'repro_slo_breaches_total{slo="latency"} 1.0' in text
+    assert '# HELP repro_slo_state' in text
+    assert 'repro_slo_burn_fast{slo="latency"}' in text
+    # Re-export is idempotent: the breach counter must not double.
+    engine.to_registry(registry)
+    assert ('repro_slo_breaches_total{slo="latency"} 1.0'
+            in prometheus_text(registry))
