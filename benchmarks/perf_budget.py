@@ -1,6 +1,6 @@
-"""Perf-budget gate for the C3a data-plane N-sweep.
+"""Perf-budget gates for the C3a data-plane N-sweep and the C3h loop.
 
-Compares the quick-mode per-tick wall clock recorded in
+Default mode compares the quick-mode per-tick wall clock recorded in
 ``benchmarks/results/BENCH_c3a.json`` (``params.scale``, written by
 ``bench_c3_scale_sync.py --quick``) against the committed baseline in
 ``benchmarks/perf_budget_baseline.json`` and exits non-zero when any
@@ -9,14 +9,23 @@ factor.  The factor is deliberately loose (2x) so the gate survives CI
 machine variance while still catching an accidentally de-vectorized
 data plane, which is an order-of-magnitude cliff, not a few percent.
 
+``--c3h`` gates the adaptation loop instead (``BENCH_c3h.json``,
+written by ``bench_c3_adapt.py --quick``).  Its metrics are *simulated*
+— adapted MTP-proxy p95, QoE gain over the un-adapted baseline, and
+the seeded-replay byte-identity flags — so the gate is tight: a
+regression there means the controller changed behaviour, not that CI
+got a slow machine.
+
 Usage::
 
     python benchmarks/perf_budget.py [RESULTS_JSON]
     python benchmarks/perf_budget.py --update [RESULTS_JSON]
+    python benchmarks/perf_budget.py --c3h [RESULTS_JSON]
+    python benchmarks/perf_budget.py --c3h --update [RESULTS_JSON]
 
-``--update`` rewrites the baseline from the current results (run a
-quick bench first); commit the updated baseline alongside intentional
-perf-profile changes.
+``--update`` rewrites the relevant baseline section from the current
+results (run the matching quick bench first); commit the updated
+baseline alongside intentional profile changes.
 """
 
 from __future__ import annotations
@@ -27,7 +36,19 @@ import sys
 from pathlib import Path
 
 DEFAULT_RESULTS = Path(__file__).parent / "results" / "BENCH_c3a.json"
+DEFAULT_C3H_RESULTS = Path(__file__).parent / "results" / "BENCH_c3h.json"
 BASELINE_PATH = Path(__file__).parent / "perf_budget_baseline.json"
+
+
+def _read_baseline() -> dict:
+    if BASELINE_PATH.exists():
+        return json.loads(BASELINE_PATH.read_text())
+    return {}
+
+
+def _write_baseline(baseline: dict) -> None:
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"wrote {BASELINE_PATH}")
 
 
 def load_scale(results_path: Path) -> dict:
@@ -45,15 +66,83 @@ def load_scale(results_path: Path) -> dict:
 
 def update(results_path: Path) -> int:
     scale = load_scale(results_path)
-    baseline = {
+    baseline = _read_baseline()
+    baseline.update({
         "max_regression": 2.0,
         "wall_ms_per_tick": {
             key: round(row["wall_ms_per_tick"], 3)
             for key, row in sorted(scale.items())
         },
+    })
+    _write_baseline(baseline)
+    return 0
+
+
+# -- C3h adaptation-loop gate -------------------------------------------------
+
+
+def load_c3h(results_path: Path) -> dict:
+    data = json.loads(results_path.read_text())
+    if data.get("bench") != "c3h" or "value" not in data:
+        raise SystemExit(
+            f"{results_path}: not a C3h result — run "
+            "bench_c3_adapt.py (e.g. with --quick) first")
+    return data
+
+
+def update_c3h(results_path: Path) -> int:
+    data = load_c3h(results_path)
+    params = data.get("params", {})
+    baseline = _read_baseline()
+    baseline["c3h"] = {
+        # Simulated latency replays exactly; the slack only covers
+        # intentional scenario retunes ahead of a re-baseline.
+        "max_regression": 1.5,
+        "adapted_mtp_p95_ms": round(float(data["value"]), 3),
+        # Keep at least half the recorded QoE gain over the un-adapted
+        # baseline arm.
+        "min_qoe_gain": round(float(params.get("qoe_gain", 0.0)) / 2, 3),
     }
-    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
-    print(f"wrote {BASELINE_PATH}")
+    _write_baseline(baseline)
+    return 0
+
+
+def check_c3h(results_path: Path) -> int:
+    tracked = _read_baseline().get("c3h")
+    if not isinstance(tracked, dict) or not tracked:
+        raise SystemExit(f"{BASELINE_PATH}: no c3h section — create it "
+                         "with --c3h --update")
+    data = load_c3h(results_path)
+    params = data.get("params", {})
+    budget = float(tracked.get("max_regression", 1.5))
+    failed = False
+
+    base_ms = float(tracked["adapted_mtp_p95_ms"])
+    now_ms = float(data["value"])
+    ratio = now_ms / max(1e-9, base_ms)
+    verdict = "FAIL" if ratio > budget else "ok"
+    failed = failed or ratio > budget
+    print(f"{verdict:4s} adapted_mtp_p95_ms {now_ms:9.2f} ms vs baseline "
+          f"{base_ms:9.2f} ms ({ratio:.2f}x, budget {budget:.1f}x)")
+
+    min_gain = float(tracked.get("min_qoe_gain", 0.0))
+    gain = params.get("qoe_gain")
+    if not isinstance(gain, (int, float)):
+        raise SystemExit(f"{results_path}: params.qoe_gain missing")
+    verdict = "FAIL" if gain < min_gain else "ok"
+    failed = failed or gain < min_gain
+    print(f"{verdict:4s} qoe_gain           {float(gain):9.3f} vs floor "
+          f"{min_gain:9.3f}")
+
+    for flag in ("replay_identical", "decisions_identical"):
+        value = params.get(flag)
+        verdict = "ok" if value == "True" else "FAIL"
+        failed = failed or value != "True"
+        print(f"{verdict:4s} {flag:18s} {value}")
+
+    if failed:
+        print("adaptation-loop budget exceeded", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -113,14 +202,21 @@ def check(results_path: Path) -> int:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("results", nargs="?", type=Path,
-                        default=DEFAULT_RESULTS)
+    parser.add_argument("results", nargs="?", type=Path, default=None)
     parser.add_argument("--update", action="store_true",
                         help="rewrite the committed baseline from results")
+    parser.add_argument("--c3h", action="store_true",
+                        help="gate the C3h adaptation loop instead of the "
+                             "C3a N-sweep")
     args = parser.parse_args()
+    if args.c3h:
+        results = args.results if args.results is not None \
+            else DEFAULT_C3H_RESULTS
+        return update_c3h(results) if args.update else check_c3h(results)
+    results = args.results if args.results is not None else DEFAULT_RESULTS
     if args.update:
-        return update(args.results)
-    return check(args.results)
+        return update(results)
+    return check(results)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,28 @@
+"""QoE-driven adaptive degradation (ROADMAP item 5, the closed loop).
+
+The repo's sensors (:mod:`repro.obs.scoreboard`, :mod:`repro.obs.slo`)
+and knobs (avatar LOD, foveation, per-client snapshot rate, FEC, ABR)
+existed in isolation; this package connects them.  A deterministic
+per-client controller polls the QoE scoreboard each control interval and
+walks a hysteretic :data:`~repro.adapt.ladder.DEFAULT_LADDER` — degrading
+fidelity *before* motion-to-photon crosses the paper's 100 ms line, then
+climbing back symmetrically once the pressure clears.
+"""
+
+from repro.adapt.controller import (AdaptConfig, AdaptDecision,
+                                    AdaptationController, ClientKnobs,
+                                    federation_knobs)
+from repro.adapt.ladder import (DEFAULT_LADDER, DegradationRung,
+                                rung_mitigations, validate_ladder)
+
+__all__ = [
+    "AdaptConfig",
+    "AdaptDecision",
+    "AdaptationController",
+    "ClientKnobs",
+    "DEFAULT_LADDER",
+    "DegradationRung",
+    "federation_knobs",
+    "rung_mitigations",
+    "validate_ladder",
+]

@@ -1,0 +1,116 @@
+"""The degradation ladder: ordered fidelity bundles the controller walks.
+
+Each rung bundles one coherent setting of every knob the system can turn
+per client — best avatar LOD tier, foveation tightness, snapshot
+decimation, FEC redundancy, ABR bitrate ceiling, and (on the deep rungs)
+active cybersickness mitigations.  Bundling matters: the knobs are
+coupled.  Raising FEC redundancy alone *adds* bandwidth on an already
+congested link; the ladder only raises it together with a lower ABR
+ceiling, so each step down is a net bandwidth reduction with higher loss
+robustness.
+
+Rung 0 is full fidelity.  Degradation moves to higher indices one rung
+at a time (the controller never skips), restoration walks back down the
+same rungs — the hysteresis lives in the controller, the monotonicity in
+the ladder itself (:func:`validate_ladder` pins it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.avatar.lod import LOD_LEVELS, level_by_name
+from repro.render.foveated import FoveationConfig
+from repro.sickness.mitigation import (FovVignette, Mitigation,
+                                       SpeedProtector)
+
+
+@dataclass(frozen=True)
+class DegradationRung:
+    """One fidelity operating point.
+
+    ``lod_cap`` is the best avatar tier the client may render;
+    ``fovea_radius_deg`` parameterizes its :class:`FoveationConfig`;
+    ``snapshot_decimation`` divides the server tick rate for this client
+    (1 = full rate); ``fec_repair`` is the repair-symbol count ``r`` of
+    the video stream's ``(k, k + r)`` block code; ``abr_cap_bps`` caps
+    the ABR controller; ``max_speed_m_s`` / ``restricted_fov_deg``
+    arm the speed-protector / FOV-vignette mitigations (None = off).
+    """
+
+    name: str
+    lod_cap: str
+    fovea_radius_deg: float
+    snapshot_decimation: int
+    fec_repair: int
+    abr_cap_bps: float
+    max_speed_m_s: Optional[float] = None
+    restricted_fov_deg: Optional[float] = None
+
+    def __post_init__(self):
+        level_by_name(self.lod_cap)  # raises on unknown tiers
+        if self.snapshot_decimation < 1:
+            raise ValueError("decimation must be >= 1")
+        if self.fec_repair < 0:
+            raise ValueError("fec repair count must be >= 0")
+        if self.abr_cap_bps <= 0:
+            raise ValueError("abr cap must be positive")
+
+    @property
+    def foveation(self) -> FoveationConfig:
+        return FoveationConfig(fovea_radius_deg=self.fovea_radius_deg)
+
+
+def rung_mitigations(rung: DegradationRung) -> List[Mitigation]:
+    """The cybersickness mitigations a rung arms, in application order."""
+    mitigations: List[Mitigation] = []
+    if rung.max_speed_m_s is not None:
+        mitigations.append(SpeedProtector(max_speed_m_s=rung.max_speed_m_s))
+    if rung.restricted_fov_deg is not None:
+        mitigations.append(FovVignette(
+            restricted_fov_deg=rung.restricted_fov_deg))
+    return mitigations
+
+
+#: The default five-rung ladder.  Tier caps follow the LOD tiers; the
+#: bandwidth knobs (decimation x ABR cap) are jointly monotone so every
+#: step down strictly sheds offered load even as FEC overhead rises.
+DEFAULT_LADDER: Tuple[DegradationRung, ...] = (
+    DegradationRung("full", "photoreal", 15.0, 1, 1, 8e6),
+    DegradationRung("trim", "high", 12.0, 1, 2, 3e6),
+    DegradationRung("lean", "medium", 10.0, 2, 3, 1.2e6),
+    DegradationRung("survival", "low", 8.0, 3, 4, 600e3,
+                    max_speed_m_s=1.0),
+    DegradationRung("lifeline", "billboard", 6.0, 4, 6, 300e3,
+                    max_speed_m_s=0.75, restricted_fov_deg=60.0),
+)
+
+
+def validate_ladder(rungs: Sequence[DegradationRung]) -> None:
+    """Raise ``ValueError`` unless the ladder degrades monotonically.
+
+    Walking to a higher rung must never *increase* fidelity or offered
+    bandwidth on any axis: LOD caps descend the tier table, fovea radius
+    and ABR ceiling are non-increasing, decimation and FEC redundancy
+    are non-decreasing.  The controller assumes this — a non-monotone
+    ladder would let a "degrade" step raise load under pressure.
+    """
+    if not rungs:
+        raise ValueError("ladder must have at least one rung")
+    names = [rung.name for rung in rungs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate rung names: {names}")
+    tier_rank = {level.name: i for i, level in enumerate(LOD_LEVELS)}
+    for prev, nxt in zip(rungs, rungs[1:]):
+        label = f"rung {prev.name!r} -> {nxt.name!r}"
+        if tier_rank[nxt.lod_cap] < tier_rank[prev.lod_cap]:
+            raise ValueError(f"{label}: LOD cap must not improve")
+        if nxt.fovea_radius_deg > prev.fovea_radius_deg:
+            raise ValueError(f"{label}: fovea radius must not widen")
+        if nxt.snapshot_decimation < prev.snapshot_decimation:
+            raise ValueError(f"{label}: decimation must not decrease")
+        if nxt.fec_repair < prev.fec_repair:
+            raise ValueError(f"{label}: FEC redundancy must not decrease")
+        if nxt.abr_cap_bps > prev.abr_cap_bps:
+            raise ValueError(f"{label}: ABR cap must not rise")

@@ -9,7 +9,7 @@ participants (the instructor).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -43,6 +43,7 @@ def level_by_name(name: str) -> LodLevel:
 def select_lod(
     distances_importance: Sequence[Tuple[str, float, float]],
     triangle_budget: int,
+    level_cap: Optional[Union[str, LodLevel]] = None,
 ) -> Dict[str, LodLevel]:
     """Assign a LOD tier per avatar under a total triangle budget.
 
@@ -51,9 +52,27 @@ def select_lod(
     ranked by ``importance / (1 + distance)`` and greedily given the best
     tier that still fits the remaining budget — a deliberately simple
     policy that experiments ablate against an exact knapsack.
+
+    ``level_cap`` (a tier name or :class:`LodLevel`) bounds the *best*
+    tier any avatar may receive; the adaptation controller degrades a
+    client by tightening this cap rather than shrinking the budget, so
+    far avatars keep their cheap tiers while near ones step down.
+
+    The invariant ``total_triangles(select_lod(...)) <= triangle_budget``
+    always holds: an avatar whose cheapest permitted tier no longer fits
+    the remaining budget is *omitted* from the assignment (rendered as
+    nothing rather than blowing the frame budget — the caller can treat
+    absence as "culled").
     """
     if triangle_budget < 0:
         raise ValueError("triangle budget must be >= 0")
+    levels = LOD_LEVELS
+    if level_cap is not None:
+        cap = level_by_name(level_cap) if isinstance(level_cap, str) \
+            else level_cap
+        levels = tuple(
+            level for level in LOD_LEVELS if level.triangles <= cap.triangles
+        )
     ranked = sorted(
         distances_importance,
         key=lambda item: -(item[2] / (1.0 + item[1])),
@@ -61,13 +80,18 @@ def select_lod(
     assignment: Dict[str, LodLevel] = {}
     remaining = triangle_budget
     for avatar_id, _distance, _importance in ranked:
-        chosen = LOD_LEVELS[-1]
-        for level in LOD_LEVELS:
+        chosen = None
+        for level in levels:
             if level.triangles <= remaining:
                 chosen = level
                 break
+        if chosen is None:
+            # Even the cheapest permitted tier overruns what is left:
+            # skip this avatar entirely.  Assigning the billboard anyway
+            # (the old behaviour) made the total exceed the budget.
+            continue
         assignment[avatar_id] = chosen
-        remaining -= min(chosen.triangles, remaining)
+        remaining -= chosen.triangles
     return assignment
 
 

@@ -9,13 +9,22 @@ rising queueing delay, clamped to the codec's useful range.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Deque, List, Optional
 
 
 @dataclass(frozen=True)
 class AbrConfig:
-    """Controller tuning."""
+    """Controller tuning.
+
+    ``baseline_window`` is how many recent interval delays the queueing
+    baseline is min'd over.  A *lifetime* running min (the old behaviour)
+    pins the controller after a route change: once the path's base delay
+    rises permanently, every report reads as queueing and the bitrate
+    ratchets to ``min_bitrate_bps`` forever.  A windowed min forgets the
+    dead route after ``baseline_window`` intervals and recovery resumes.
+    """
 
     min_bitrate_bps: float = 300e3
     max_bitrate_bps: float = 8e6
@@ -23,6 +32,7 @@ class AbrConfig:
     decrease_factor: float = 0.7
     loss_threshold: float = 0.02
     delay_threshold_s: float = 0.05   # queueing delay above baseline
+    baseline_window: int = 40         # reports the baseline min spans
 
     def __post_init__(self):
         if not 0 < self.min_bitrate_bps < self.max_bitrate_bps:
@@ -31,6 +41,8 @@ class AbrConfig:
             raise ValueError("decrease factor must be in (0,1)")
         if self.increase_bps_per_step <= 0:
             raise ValueError("increase step must be positive")
+        if self.baseline_window < 1:
+            raise ValueError("baseline window must be >= 1")
 
 
 class AbrController:
@@ -42,9 +54,40 @@ class AbrController:
             raise ValueError("initial bitrate outside the configured range")
         self.config = config
         self.bitrate_bps = float(initial_bitrate_bps)
-        self._baseline_delay: Optional[float] = None
+        self._recent_delays: Deque[float] = deque(
+            maxlen=config.baseline_window)
+        #: External ceiling (adaptation controller knob); None = uncapped.
+        self._cap_bps: Optional[float] = None
         self.history: List[float] = [self.bitrate_bps]
         self.decreases = 0
+
+    @property
+    def baseline_delay(self) -> Optional[float]:
+        """Min one-way delay over the last ``baseline_window`` reports."""
+        if not self._recent_delays:
+            return None
+        return min(self._recent_delays)
+
+    @property
+    def cap_bps(self) -> Optional[float]:
+        return self._cap_bps
+
+    def set_cap(self, cap_bps: Optional[float]) -> float:
+        """Clamp the bitrate ceiling from outside (and apply immediately).
+
+        The adaptation ladder lowers this as it degrades so video yields
+        bandwidth to the sync stream; ``None`` removes the cap.  The cap
+        never pushes below ``min_bitrate_bps``.  Returns the bitrate.
+        """
+        if cap_bps is not None:
+            if cap_bps <= 0:
+                raise ValueError("cap must be positive")
+            cap_bps = max(float(cap_bps), self.config.min_bitrate_bps)
+        self._cap_bps = cap_bps
+        if cap_bps is not None and self.bitrate_bps > cap_bps:
+            self.bitrate_bps = cap_bps
+            self.history.append(self.bitrate_bps)
+        return self.bitrate_bps
 
     def report(self, loss_fraction: float, one_way_delay_s: float,
                throughput_bps: Optional[float] = None) -> float:
@@ -57,9 +100,8 @@ class AbrController:
             raise ValueError("loss fraction must be in [0,1]")
         if one_way_delay_s < 0:
             raise ValueError("delay must be >= 0")
-        if self._baseline_delay is None or one_way_delay_s < self._baseline_delay:
-            self._baseline_delay = one_way_delay_s
-        queueing = one_way_delay_s - self._baseline_delay
+        self._recent_delays.append(one_way_delay_s)
+        queueing = one_way_delay_s - min(self._recent_delays)
         congested = (
             loss_fraction > self.config.loss_threshold
             or queueing > self.config.delay_threshold_s
@@ -71,8 +113,11 @@ class AbrController:
             self.bitrate_bps += self.config.increase_bps_per_step
             if throughput_bps is not None:
                 self.bitrate_bps = min(self.bitrate_bps, 1.2 * throughput_bps)
+        ceiling = self.config.max_bitrate_bps
+        if self._cap_bps is not None:
+            ceiling = min(ceiling, self._cap_bps)
         self.bitrate_bps = min(
-            self.config.max_bitrate_bps,
+            ceiling,
             max(self.config.min_bitrate_bps, self.bitrate_bps),
         )
         self.history.append(self.bitrate_bps)

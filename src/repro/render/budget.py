@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.avatar.lod import LodLevel, select_lod, total_quality, total_triangles
 from repro.render.display import DisplayModel
+from repro.render.foveated import (FoveationConfig, effective_triangle_budget,
+                                   foveated_cost_factor)
 from repro.render.pipeline import DeviceProfile
 
 
@@ -24,29 +26,57 @@ class FrameBudget:
         self.display = display
         self.scene_overhead = int(scene_overhead_triangles)
 
-    def avatar_triangle_budget(self) -> int:
-        """Triangles left for avatars after the static scene."""
+    def avatar_triangle_budget(
+        self, foveation: Optional[FoveationConfig] = None
+    ) -> int:
+        """Triangles left for avatars after the static scene.
+
+        With ``foveation`` the budget is stretched by the foveated cost
+        factor — the adaptation loop tightens the fovea as it degrades,
+        buying triangle headroom instead of dropping avatars.
+        """
         headroom = self.display.frame_period - self.device.base_frame_cost_s
         if headroom <= 0:
             return 0
         total = int(headroom * self.device.triangles_per_second)
-        return max(0, total - self.scene_overhead)
+        budget = max(0, total - self.scene_overhead)
+        if foveation is not None:
+            budget = effective_triangle_budget(budget, self.display, foveation)
+        return budget
 
     def plan(
-        self, avatars: Sequence[Tuple[str, float, float]]
+        self,
+        avatars: Sequence[Tuple[str, float, float]],
+        level_cap: Optional[Union[str, LodLevel]] = None,
+        foveation: Optional[FoveationConfig] = None,
     ) -> Dict[str, LodLevel]:
-        """LOD per avatar: ``avatars`` is [(id, distance_m, importance)]."""
-        return select_lod(list(avatars), self.avatar_triangle_budget())
+        """LOD per avatar: ``avatars`` is [(id, distance_m, importance)].
+
+        ``level_cap`` and ``foveation`` are the adaptation controller's
+        render knobs (best permitted tier / foveated budget stretch).
+        """
+        return select_lod(
+            list(avatars), self.avatar_triangle_budget(foveation),
+            level_cap=level_cap)
 
     def plan_report(
-        self, avatars: Sequence[Tuple[str, float, float]]
+        self,
+        avatars: Sequence[Tuple[str, float, float]],
+        level_cap: Optional[Union[str, LodLevel]] = None,
+        foveation: Optional[FoveationConfig] = None,
     ) -> "BudgetReport":
-        assignment = self.plan(avatars)
+        assignment = self.plan(avatars, level_cap=level_cap,
+                               foveation=foveation)
         triangles = total_triangles(assignment) + self.scene_overhead
+        # Foveation shades the whole frame (scene included) at the
+        # two-zone cost factor, so the device renders the geometric
+        # triangle count at a fraction of its full-resolution cost.
+        shaded = triangles if foveation is None else int(
+            triangles * foveated_cost_factor(self.display, foveation))
         return BudgetReport(
             assignment=assignment,
             total_triangles=triangles,
-            frame_time=self.device.frame_time(triangles),
+            frame_time=self.device.frame_time(shaded),
             frame_period=self.display.frame_period,
             quality=total_quality(assignment),
         )

@@ -5,17 +5,82 @@ speed profiles) [43]; dynamic FOV restriction (vignetting) is the other
 widely deployed mitigation.  Both transform an
 :class:`~repro.sickness.conflict.ExposureConfig` into a gentler one, at a
 cost the experiments make visible (slower travel, less peripheral vision).
+
+**Composition order matters.**  Each mitigation's cost method
+(:meth:`SpeedProtector.travel_time_factor`,
+:meth:`FovVignette.visibility_cost`) compares the *pre-mitigation* config
+against the cap, so it must be evaluated **before** ``apply``:
+
+>>> protector = SpeedProtector(max_speed_m_s=1.0)
+>>> config = ExposureConfig(navigation_speed_m_s=2.0)
+>>> protector.travel_time_factor(config)          # correct: 2.0x slower
+2.0
+>>> protector.travel_time_factor(protector.apply(config))  # silently 1.0!
+1.0
+
+Calling the cost method on the already-applied config silently reports
+the neutral cost (1.0 / 0.0) because the applied config already satisfies
+the cap — the mitigation looks free.  :meth:`Mitigation.apply_with_cost`
+makes the correct pairing atomic; the adaptation controller composes
+mitigations exclusively through it so a cost can never be dropped.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Iterable, List, Tuple
 
 from repro.sickness.conflict import ExposureConfig
 
 
+class Mitigation:
+    """Base protocol: a config transform plus its perceptual cost.
+
+    Subclasses implement ``apply(config)`` and ``cost(config)``; ``cost``
+    is only meaningful against the pre-mitigation config (see the module
+    docstring), which is why callers should prefer
+    :meth:`apply_with_cost`.
+    """
+
+    def apply(self, config: ExposureConfig) -> ExposureConfig:
+        raise NotImplementedError
+
+    def cost(self, config: ExposureConfig) -> float:
+        """The mitigation's native cost measure against ``config``.
+
+        The scale is per-mitigation (travel-time factor with neutral 1.0
+        for :class:`SpeedProtector`; lost-FOV fraction with neutral 0.0
+        for :class:`FovVignette`) — costs are reported side by side, not
+        summed.
+        """
+        raise NotImplementedError
+
+    def apply_with_cost(
+        self, config: ExposureConfig
+    ) -> Tuple[ExposureConfig, float]:
+        """Apply and report cost in one step, in the only correct order:
+        cost is computed against the *pre-mitigation* ``config``."""
+        return self.apply(config), self.cost(config)
+
+
+def apply_all_with_costs(
+    mitigations: Iterable[Mitigation], config: ExposureConfig
+) -> Tuple[ExposureConfig, List[float]]:
+    """Chain mitigations, collecting each one's cost at its own step.
+
+    Each cost is measured against the config *that mitigation* received
+    (the output of the previous one) — the composed deployment's true
+    marginal costs, in application order.
+    """
+    costs: List[float] = []
+    for mitigation in mitigations:
+        config, cost = mitigation.apply_with_cost(config)
+        costs.append(cost)
+    return config, costs
+
+
 @dataclass(frozen=True)
-class SpeedProtector:
+class SpeedProtector(Mitigation):
     """Caps smooth-locomotion speed (and implies gentler acceleration)."""
 
     max_speed_m_s: float = 1.0
@@ -31,14 +96,22 @@ class SpeedProtector:
         )
 
     def travel_time_factor(self, config: ExposureConfig) -> float:
-        """How much longer journeys take under the cap (>= 1)."""
+        """How much longer journeys take under the cap (>= 1).
+
+        Only meaningful against the *pre-mitigation* config: once
+        ``apply`` has capped the speed, this reads a neutral 1.0.  Use
+        :meth:`Mitigation.apply_with_cost` to get both atomically.
+        """
         if config.navigation_speed_m_s <= self.max_speed_m_s:
             return 1.0
         return config.navigation_speed_m_s / self.max_speed_m_s
 
+    def cost(self, config: ExposureConfig) -> float:
+        return self.travel_time_factor(config)
+
 
 @dataclass(frozen=True)
-class FovVignette:
+class FovVignette(Mitigation):
     """Restricts FOV during locomotion to cut peripheral optic flow."""
 
     restricted_fov_deg: float = 60.0
@@ -53,7 +126,15 @@ class FovVignette:
         )
 
     def visibility_cost(self, config: ExposureConfig) -> float:
-        """Fraction of the original FOV lost while vignetting (0-1)."""
+        """Fraction of the original FOV lost while vignetting (0-1).
+
+        Only meaningful against the *pre-mitigation* config: once
+        ``apply`` has restricted the FOV, this reads a neutral 0.0.  Use
+        :meth:`Mitigation.apply_with_cost` to get both atomically.
+        """
         if config.fov_deg <= self.restricted_fov_deg:
             return 0.0
         return 1.0 - self.restricted_fov_deg / config.fov_deg
+
+    def cost(self, config: ExposureConfig) -> float:
+        return self.visibility_cost(config)

@@ -398,6 +398,12 @@ class ShardedSyncService:
         self._access_links: Dict[Tuple[str, str, str], Link] = {}
         #: Latest span context per traced entity (obs enabled only).
         self._traced: Dict[str, Any] = {}
+        #: Service-level adaptation knobs (user -> factor / tier name).
+        #: Pushed to *every* shard so they survive voluntary moves and
+        #: crash failovers — whichever shard ends up serving the user
+        #: already holds its decimation/LOD policy.
+        self._decimation: Dict[str, int] = {}
+        self._lod_hints: Dict[str, str] = {}
 
     def _make_shard(self, site: str) -> SyncServer:
         return SyncServer(
@@ -500,6 +506,56 @@ class ShardedSyncService:
         self.clients[user_id] = federated
         return federated
 
+    # -- per-client adaptation knobs ---------------------------------------
+
+    def set_snapshot_decimation(self, user_id: str, factor: int) -> None:
+        """Serve ``user_id`` on 1 of every ``factor`` shard ticks.
+
+        Applied to every shard (not just the current home) so the policy
+        follows the user through migrations and crash failovers without a
+        re-apply hook on each path.
+        """
+        factor = int(factor)
+        if factor < 1:
+            raise ValueError("decimation factor must be >= 1")
+        if factor == 1:
+            self._decimation.pop(user_id, None)
+        else:
+            self._decimation[user_id] = factor
+        for shard in self.shards.values():
+            shard.set_snapshot_decimation(user_id, factor)
+
+    def snapshot_decimation(self, user_id: str) -> int:
+        return self._decimation.get(user_id, 1)
+
+    def set_lod_hint(self, user_id: str, level: Optional[str]) -> None:
+        """Advise ``user_id``'s render planner of its best permitted tier
+        (validated; ``None`` clears).  Shard-replicated like decimation."""
+        if level is None:
+            self._lod_hints.pop(user_id, None)
+        else:
+            from repro.avatar.lod import level_by_name
+            level_by_name(level)  # raises KeyError before any state changes
+            self._lod_hints[user_id] = level
+        for shard in self.shards.values():
+            shard.set_lod_hint(user_id, level)
+
+    def lod_hint(self, user_id: str) -> Optional[str]:
+        return self._lod_hints.get(user_id)
+
+    def downlink(self, user_id: str, site: Optional[str] = None) -> Link:
+        """The user's access downlink (home site by default).
+
+        Public surface for fault injection and the adaptation loop's
+        network probes (queue depth, loss state) — callers should not
+        reach into the private link cache.
+        """
+        if site is None:
+            federated = self.clients.get(user_id)
+            site = federated.home if federated is not None \
+                else self.home[user_id]
+        return self._access_link(user_id, site, "down")
+
     def move_user(self, user_id: str, new_site: str) -> None:
         """Voluntary make-before-break handoff (the user moved regions)."""
         if new_site not in self.shards:
@@ -531,6 +587,13 @@ class ShardedSyncService:
         # site's code must not suddenly read as owned by the newcomer.
         self.site_codes[site] = max(self.site_codes.values(), default=0) + 1
         shard = self._make_shard(site)
+        # A shard provisioned mid-run must hold the same per-client
+        # adaptation policy as the rest of the fleet (a user may fail
+        # over or migrate onto it immediately).
+        for user_id, factor in self._decimation.items():
+            shard.set_snapshot_decimation(user_id, factor)
+        for user_id, level in self._lod_hints.items():
+            shard.set_lod_hint(user_id, level)
         self.shards[site] = shard
         if site not in self.plan.sites:
             self.plan.sites.append(site)

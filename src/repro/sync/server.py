@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
@@ -120,6 +121,16 @@ class SyncServer:
             self.encoder = DeltaEncoder(keyframe_interval=keyframe_interval)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._subscribers: Dict[str, Callable[[ServerSnapshot], None]] = {}
+        #: Per-client snapshot decimation factor (>= 2): the client is
+        #: served on 1 of every N ticks.  Safe by construction: a skipped
+        #: client's delta-encoder state is untouched, so its next served
+        #: tick carries the *cumulative* delta since the last one — no
+        #: state is lost, the stream just coarsens.  Entries persist
+        #: across unsubscribe (they are client policy, not session state).
+        self._decimation: Dict[str, int] = {}
+        #: Advisory best-LOD-tier name per client; the deployment's render
+        #: planner reads it back (:meth:`lod_hint`) and caps `select_lod`.
+        self._lod_hints: Dict[str, str] = {}
         self._pending: list = []
         # Traced updates awaiting the next tick: entity -> (ctx, ingest time).
         self._traced: Dict[str, tuple] = {}
@@ -168,6 +179,60 @@ class SyncServer:
     @property
     def n_subscribers(self) -> int:
         return len(self._subscribers)
+
+    # -- per-client adaptation knobs ---------------------------------------
+
+    def set_snapshot_decimation(self, client_id: str, factor: int) -> None:
+        """Serve ``client_id`` on only 1 of every ``factor`` ticks.
+
+        ``factor`` 1 restores full rate.  Decimation composes with delta
+        encoding for free: the skipped ticks' changes simply accumulate
+        into the next served snapshot, so the client sees a coarser but
+        complete stream at ``tick_rate / factor`` — the adaptation
+        controller's per-client tick-rate knob, and actuation is real
+        (fewer snapshots on the wire, less queueing on the access link).
+        """
+        factor = int(factor)
+        if factor < 1:
+            raise ValueError("decimation factor must be >= 1")
+        if factor == 1:
+            self._decimation.pop(client_id, None)
+        else:
+            self._decimation[client_id] = factor
+
+    def snapshot_decimation(self, client_id: str) -> int:
+        """Current decimation factor for ``client_id`` (1 = full rate)."""
+        return self._decimation.get(client_id, 1)
+
+    def set_lod_hint(self, client_id: str, level: Optional[str]) -> None:
+        """Advise the client's render planner of its best permitted tier.
+
+        ``None`` clears the hint.  Validated against the LOD ladder so a
+        typo fails here, not silently at the renderer.
+        """
+        if level is None:
+            self._lod_hints.pop(client_id, None)
+            return
+        from repro.avatar.lod import level_by_name
+        level_by_name(level)  # raises KeyError on unknown tiers
+        self._lod_hints[client_id] = level
+
+    def lod_hint(self, client_id: str) -> Optional[str]:
+        return self._lod_hints.get(client_id)
+
+    def _sends_this_tick(self, client_id: str) -> bool:
+        """Whether a decimated client is served on the current tick.
+
+        Each client's serve phase is a stable hash of its id (crc32, not
+        ``hash()`` — that one is salted per process and would break
+        replay), so decimated clients spread across ticks instead of all
+        landing on tick 0 modulo N.
+        """
+        factor = self._decimation.get(client_id)
+        if factor is None:
+            return True
+        phase = zlib.crc32(client_id.encode()) % factor
+        return self.tick_count % factor == phase
 
     # -- data path ------------------------------------------------------------
 
@@ -318,7 +383,14 @@ class SyncServer:
             world.apply_many([update.state for update in updates])
         ids, slots, points = world.compact()
         n = len(ids)
-        sub_ids = list(self._subscribers)
+        if self._decimation:
+            sub_ids = [
+                c for c in self._subscribers if self._sends_this_tick(c)
+            ]
+            self.metrics.incr(
+                "snapshots_decimated", len(self._subscribers) - len(sub_ids))
+        else:
+            sub_ids = list(self._subscribers)
         sends = [self._subscribers[c] for c in sub_ids]
         s = len(sub_ids)
         inverse = np.full(world.capacity, -1, dtype=np.int64)
@@ -485,6 +557,12 @@ class SyncServer:
             prof.switch("serialize")
         states_sent = 0
         for client_id, send in self._subscribers.items():
+            if self._decimation and not self._sends_this_tick(client_id):
+                # Skipped before the delta encode, so this client's
+                # encoder state stays at its last served tick and the
+                # next served snapshot carries the cumulative delta.
+                self.metrics.incr("snapshots_decimated")
+                continue
             relevant = relevant_sets[client_id]
             if prof.enabled:
                 # Nested: delta self-time is carved out of serialize.

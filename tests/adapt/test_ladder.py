@@ -1,0 +1,82 @@
+"""Degradation-ladder structure and monotonicity validation."""
+
+import pytest
+
+from repro.adapt.ladder import (
+    DEFAULT_LADDER,
+    DegradationRung,
+    rung_mitigations,
+    validate_ladder,
+)
+from repro.avatar.lod import LOD_LEVELS
+from repro.sickness.mitigation import FovVignette, SpeedProtector
+
+pytestmark = pytest.mark.adapt
+
+
+def test_default_ladder_is_valid_and_starts_full():
+    validate_ladder(DEFAULT_LADDER)
+    top = DEFAULT_LADDER[0]
+    assert top.lod_cap == LOD_LEVELS[0].name
+    assert top.snapshot_decimation == 1
+    assert top.max_speed_m_s is None and top.restricted_fov_deg is None
+
+
+def test_default_ladder_sheds_bandwidth_monotonically():
+    # The effective snapshot-rate divisor x ABR ceiling must both move
+    # the right way on every step.
+    for prev, nxt in zip(DEFAULT_LADDER, DEFAULT_LADDER[1:]):
+        assert nxt.snapshot_decimation >= prev.snapshot_decimation
+        assert nxt.abr_cap_bps <= prev.abr_cap_bps
+        assert nxt.fec_repair >= prev.fec_repair
+
+
+def test_deep_rungs_arm_mitigations():
+    names = {rung.name: rung for rung in DEFAULT_LADDER}
+    assert rung_mitigations(names["full"]) == []
+    survival = rung_mitigations(names["survival"])
+    assert len(survival) == 1 and isinstance(survival[0], SpeedProtector)
+    lifeline = rung_mitigations(names["lifeline"])
+    assert [type(m) for m in lifeline] == [SpeedProtector, FovVignette]
+
+
+def test_rung_foveation_config():
+    rung = DEFAULT_LADDER[2]
+    assert rung.foveation.fovea_radius_deg == rung.fovea_radius_deg
+
+
+def test_validate_rejects_non_monotone_ladders():
+    base = dict(fovea_radius_deg=10.0, snapshot_decimation=1,
+                fec_repair=1, abr_cap_bps=1e6)
+    a = DegradationRung("a", "high", **base)
+    with pytest.raises(ValueError, match="LOD cap"):
+        validate_ladder([a, DegradationRung("b", "photoreal", **base)])
+    with pytest.raises(ValueError, match="fovea"):
+        validate_ladder([a, DegradationRung(
+            "b", "high", 12.0, 1, 1, 1e6)])
+    with pytest.raises(ValueError, match="decimation"):
+        validate_ladder([
+            DegradationRung("a", "high", 10.0, 2, 1, 1e6),
+            DegradationRung("b", "high", 10.0, 1, 1, 1e6)])
+    with pytest.raises(ValueError, match="FEC"):
+        validate_ladder([
+            DegradationRung("a", "high", 10.0, 1, 3, 1e6),
+            DegradationRung("b", "high", 10.0, 1, 2, 1e6)])
+    with pytest.raises(ValueError, match="ABR"):
+        validate_ladder([a, DegradationRung(
+            "b", "high", 10.0, 1, 1, 2e6)])
+    with pytest.raises(ValueError, match="duplicate"):
+        validate_ladder([a, a])
+    with pytest.raises(ValueError, match="at least one"):
+        validate_ladder([])
+
+
+def test_rung_field_validation():
+    with pytest.raises(KeyError):
+        DegradationRung("x", "ultra", 10.0, 1, 1, 1e6)
+    with pytest.raises(ValueError):
+        DegradationRung("x", "high", 10.0, 0, 1, 1e6)
+    with pytest.raises(ValueError):
+        DegradationRung("x", "high", 10.0, 1, -1, 1e6)
+    with pytest.raises(ValueError):
+        DegradationRung("x", "high", 10.0, 1, 1, 0.0)

@@ -12,9 +12,12 @@ from repro.avatar.lod import (
 
 
 def weighted_quality(avatars, assignment):
+    # Greedy may omit avatars that no longer fit the budget (they render
+    # as nothing): zero quality contribution.
     return sum(
         (importance / (1.0 + distance)) * assignment[avatar_id].quality
         for avatar_id, distance, importance in avatars
+        if avatar_id in assignment
     )
 
 

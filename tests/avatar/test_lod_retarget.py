@@ -39,9 +39,11 @@ def test_select_lod_generous_budget_gives_best():
     assert assignment["a"].name == "photoreal"
 
 
-def test_select_lod_zero_budget_gives_billboards():
+def test_select_lod_zero_budget_assigns_nothing():
+    # Nothing fits in a zero budget — the old code handed out billboards
+    # anyway and overran it.
     assignment = select_lod([("a", 1.0, 0.5), ("b", 2.0, 0.5)], triangle_budget=0)
-    assert all(level.name == "billboard" for level in assignment.values())
+    assert assignment == {}
 
 
 def test_select_lod_prioritizes_important_and_near():
@@ -55,9 +57,27 @@ def test_select_lod_respects_budget():
     avatars = [(f"s{i}", float(i), 0.5) for i in range(20)]
     budget = 100_000
     assignment = select_lod(avatars, triangle_budget=budget)
-    assert total_triangles(assignment) <= budget + LOD_LEVELS[-1].triangles * 20
-    assert len(assignment) == 20
+    # Strict invariant (the old behaviour could exceed the budget by a
+    # billboard per avatar): never overrun, omit what no longer fits.
+    assert total_triangles(assignment) <= budget
+    assert len(assignment) <= 20
+    # Every omitted avatar genuinely did not fit: the leftover budget is
+    # below the cheapest tier.
+    leftover = budget - total_triangles(assignment)
+    if len(assignment) < 20:
+        assert leftover < LOD_LEVELS[-1].triangles
     assert total_quality(assignment) > 0
+
+
+def test_select_lod_level_cap_bounds_best_tier():
+    avatars = [(f"s{i}", float(i), 0.5) for i in range(4)]
+    assignment = select_lod(avatars, triangle_budget=10_000_000,
+                            level_cap="medium")
+    assert all(level.triangles <= level_by_name("medium").triangles
+               for level in assignment.values())
+    assert assignment["s0"].name == "medium"
+    with pytest.raises(KeyError):
+        select_lod(avatars, 10_000, level_cap="ultra")
 
 
 def test_select_lod_negative_budget_rejected():

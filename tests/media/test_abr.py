@@ -67,3 +67,65 @@ def test_validation():
         controller.report(loss_fraction=0.0, one_way_delay_s=-1.0)
     with pytest.raises(ValueError):
         controller.converged_bitrate(last_n=0)
+
+
+def test_reroute_recovery_with_windowed_baseline():
+    """Regression: a permanent base-delay rise must not pin the bitrate.
+
+    The old lifetime-min baseline remembered the dead route's 30 ms
+    forever; after a reroute to a 90 ms path every report read as 60 ms
+    of queueing and the controller ratcheted to min_bitrate_bps for the
+    rest of the session.  With the windowed min the baseline forgets the
+    old route after ``baseline_window`` reports and the ramp resumes.
+    """
+    config = AbrConfig(baseline_window=10)
+    controller = AbrController(config, initial_bitrate_bps=1e6)
+    for _ in range(40):
+        controller.report(loss_fraction=0.0, one_way_delay_s=0.030)
+    assert controller.bitrate_bps == config.max_bitrate_bps
+    # Route change: base one-way delay permanently rises 30 -> 90 ms
+    # (clean path, no loss, no queueing on the new route).
+    for _ in range(config.baseline_window):
+        controller.report(loss_fraction=0.0, one_way_delay_s=0.090)
+    # Transiently the stale baseline reads the new route as congestion...
+    assert controller.bitrate_bps < config.max_bitrate_bps
+    # ...but once the window rolls over, recovery resumes to max.
+    for _ in range(40):
+        controller.report(loss_fraction=0.0, one_way_delay_s=0.090)
+    assert controller.bitrate_bps == config.max_bitrate_bps
+    assert controller.baseline_delay == pytest.approx(0.090)
+
+
+def test_real_queueing_still_decreases_after_reroute():
+    """The windowed baseline must not blind the controller to genuine
+    queueing on the new route."""
+    config = AbrConfig(baseline_window=10)
+    controller = AbrController(config, initial_bitrate_bps=2e6)
+    for _ in range(20):
+        controller.report(loss_fraction=0.0, one_way_delay_s=0.080)
+    before = controller.bitrate_bps
+    controller.report(loss_fraction=0.0, one_way_delay_s=0.150)
+    assert controller.bitrate_bps < before
+    assert controller.decreases >= 1
+
+
+def test_external_cap_clamps_and_releases():
+    controller = AbrController(initial_bitrate_bps=2e6)
+    assert controller.set_cap(1e6) == 1e6
+    assert controller.bitrate_bps == 1e6
+    for _ in range(20):
+        controller.report(loss_fraction=0.0, one_way_delay_s=0.030)
+    assert controller.bitrate_bps == 1e6  # held at the cap
+    controller.set_cap(None)
+    for _ in range(40):
+        controller.report(loss_fraction=0.0, one_way_delay_s=0.030)
+    assert controller.bitrate_bps == controller.config.max_bitrate_bps
+
+
+def test_cap_never_below_min_and_validates():
+    controller = AbrController()
+    assert controller.set_cap(1.0) == controller.config.min_bitrate_bps
+    with pytest.raises(ValueError):
+        controller.set_cap(-1.0)
+    with pytest.raises(ValueError):
+        AbrConfig(baseline_window=0)

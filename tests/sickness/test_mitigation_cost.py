@@ -1,0 +1,89 @@
+"""Mitigation composition order: costs must see the pre-mitigation config.
+
+The regression this pins: ``SpeedProtector.travel_time_factor`` and
+``FovVignette.visibility_cost`` compare the config against the cap, so
+calling them on the *already-applied* config silently reports the
+neutral cost (1.0 / 0.0) — the mitigation looks free and the
+experiment's cost accounting quietly drops it.
+``Mitigation.apply_with_cost`` makes the correct ordering atomic.
+"""
+
+import pytest
+
+from repro.sickness.conflict import ExposureConfig
+from repro.sickness.mitigation import (
+    FovVignette,
+    Mitigation,
+    SpeedProtector,
+    apply_all_with_costs,
+)
+
+
+def test_cost_on_applied_config_is_silently_neutral():
+    """Documents the trap: wrong order == dropped cost, no error."""
+    config = ExposureConfig(navigation_speed_m_s=2.0, fov_deg=100.0)
+    protector = SpeedProtector(max_speed_m_s=1.0)
+    vignette = FovVignette(restricted_fov_deg=60.0)
+    # Correct order: cost first (or apply_with_cost).
+    assert protector.travel_time_factor(config) == pytest.approx(2.0)
+    assert vignette.visibility_cost(config) == pytest.approx(0.4)
+    # Wrong order: the applied config already satisfies the cap.
+    assert protector.travel_time_factor(protector.apply(config)) == 1.0
+    assert vignette.visibility_cost(vignette.apply(config)) == 0.0
+
+
+def test_apply_with_cost_pairs_atomically():
+    config = ExposureConfig(navigation_speed_m_s=3.0)
+    protector = SpeedProtector(max_speed_m_s=1.0)
+    mitigated, cost = protector.apply_with_cost(config)
+    assert mitigated.navigation_speed_m_s == pytest.approx(1.0)
+    assert cost == pytest.approx(3.0)
+
+    vignette = FovVignette(restricted_fov_deg=45.0)
+    mitigated, cost = vignette.apply_with_cost(
+        ExposureConfig(fov_deg=90.0))
+    assert mitigated.fov_deg == pytest.approx(45.0)
+    assert cost == pytest.approx(0.5)
+
+
+def test_apply_with_cost_neutral_when_already_gentle():
+    config = ExposureConfig(navigation_speed_m_s=0.5, fov_deg=50.0)
+    _, speed_cost = SpeedProtector(1.0).apply_with_cost(config)
+    _, fov_cost = FovVignette(60.0).apply_with_cost(config)
+    assert speed_cost == 1.0
+    assert fov_cost == 0.0
+
+
+def test_apply_all_with_costs_chains_in_order():
+    config = ExposureConfig(navigation_speed_m_s=2.0, fov_deg=120.0)
+    chain = [SpeedProtector(1.0), FovVignette(60.0)]
+    mitigated, costs = apply_all_with_costs(chain, config)
+    assert mitigated.navigation_speed_m_s == pytest.approx(1.0)
+    assert mitigated.fov_deg == pytest.approx(60.0)
+    assert costs == [pytest.approx(2.0), pytest.approx(0.5)]
+
+
+def test_apply_all_with_costs_marginal_not_original():
+    # Two stacked vignettes: the second's cost is measured against the
+    # first's output (its true marginal cost), not the original config.
+    config = ExposureConfig(fov_deg=120.0)
+    chain = [FovVignette(90.0), FovVignette(60.0)]
+    _, costs = apply_all_with_costs(chain, config)
+    assert costs[0] == pytest.approx(0.25)       # 120 -> 90
+    assert costs[1] == pytest.approx(1 - 60 / 90)  # 90 -> 60, marginal
+
+
+def test_base_class_is_abstract():
+    with pytest.raises(NotImplementedError):
+        Mitigation().apply(ExposureConfig())
+    with pytest.raises(NotImplementedError):
+        Mitigation().cost(ExposureConfig())
+
+
+def test_mitigations_still_frozen_dataclasses():
+    with pytest.raises(Exception):
+        SpeedProtector(1.0).max_speed_m_s = 2.0
+    with pytest.raises(ValueError):
+        SpeedProtector(0.0)
+    with pytest.raises(ValueError):
+        FovVignette(5.0)
