@@ -132,7 +132,9 @@ def wall_tracer(limit: int = 100_000):
     """A wall-clock span tracer for analytic (non-simulated) benchmarks."""
     from repro.obs.span import SpanTracer
 
-    return SpanTracer(clock=time.perf_counter, limit=limit)
+    # DET001 suppressed: this *is* the declared wall-clock shim
+    # benchmarks use for real-time phase spans.
+    return SpanTracer(clock=time.perf_counter, limit=limit)  # replint: ignore[DET001]
 
 
 def wall_phase(tracer, name: str, parent=None):
@@ -160,6 +162,21 @@ def export_trace(spans, bench: str,
     path = directory / f"TRACE_{bench}.json"
     path.write_text(
         json.dumps(chrome_trace(spans), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def write_artifact(name: str, text: str,
+                   out_dir: Union[str, Path, None] = None) -> Path:
+    """Write a free-form text artifact (decision logs, …) to results.
+
+    Benchmarks must not write files directly (replint ARCH002): routing
+    every artifact through here keeps the output directory layout — and
+    what CI uploads — in one place.
+    """
+    directory = Path(out_dir) if out_dir is not None else RESULTS_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / name
+    path.write_text(text)
     return path
 
 

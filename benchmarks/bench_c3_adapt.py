@@ -273,10 +273,10 @@ def main(argv=None):
                              "degradation decision log to the results dir")
     args = parser.parse_args(argv)
     from benchmarks._emit import (
-        RESULTS_DIR,
         export_trace,
         phase_breakdown_ms,
         wall_tracer,
+        write_artifact,
         write_bench_json,
     )
     duration = QUICK_DURATION if args.quick else DURATION
@@ -304,8 +304,8 @@ def main(argv=None):
     emit(f"wrote {path}")
     if args.trace:
         export_trace(tracer.spans(), "c3h")
-        decisions_path = RESULTS_DIR / "DECISIONS_c3h.log"
-        decisions_path.write_text(
+        decisions_path = write_artifact(
+            "DECISIONS_c3h.log",
             "\n".join(adapted["decision_lines"]) + "\n")
         emit(f"wrote {decisions_path}")
     return results

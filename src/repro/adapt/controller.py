@@ -27,7 +27,7 @@ is the replay witness, and the flight recorder accepts it directly as a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.adapt.ladder import (DEFAULT_LADDER, DegradationRung,
                                 rung_mitigations, validate_ladder)
@@ -63,7 +63,7 @@ class AdaptConfig:
     #: Minimum dwell after *any* step before a restore may fire.
     hold_time_s: float = 2.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not 0 < self.restore_latency_s < self.degrade_latency_s:
             raise ValueError(
                 "need 0 < restore_latency_s < degrade_latency_s")
@@ -119,7 +119,7 @@ class ClientKnobs:
     set_mitigations: Optional[Callable[[list], None]] = None
 
 
-def federation_knobs(service, user_id: str, abr=None,
+def federation_knobs(service: Any, user_id: str, abr: Any = None,
                      set_foveation: Optional[Callable] = None,
                      set_fec: Optional[Callable] = None,
                      set_mitigations: Optional[Callable] = None) -> ClientKnobs:
@@ -144,7 +144,7 @@ class _ClientControl:
 
     def __init__(self, knobs: ClientKnobs,
                  loss_probe: Optional[Callable[[], float]],
-                 rung: int):
+                 rung: int) -> None:
         self.knobs = knobs
         self.loss_probe = loss_probe
         self.rung = rung
@@ -166,9 +166,9 @@ class AdaptationController:
         scoreboard: QoeScoreboard,
         ladder: Sequence[DegradationRung] = DEFAULT_LADDER,
         config: AdaptConfig = AdaptConfig(),
-        slo_engine=None,
+        slo_engine: Any = None,
         slo_names: Sequence[str] = (),
-    ):
+    ) -> None:
         validate_ladder(ladder)
         self.scoreboard = scoreboard
         self.ladder = tuple(ladder)
@@ -354,7 +354,7 @@ class AdaptationController:
 
     # -- export ------------------------------------------------------------
 
-    def to_registry(self, registry, prefix: str = "adapt") -> None:
+    def to_registry(self, registry: Any, prefix: str = "adapt") -> None:
         """Per-client rung gauges + decision counters (obs surface)."""
         rung_gauge = registry.gauge_family(f"{prefix}_rung", ("client",))
         registry.describe(

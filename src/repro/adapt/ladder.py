@@ -48,7 +48,7 @@ class DegradationRung:
     max_speed_m_s: Optional[float] = None
     restricted_fov_deg: Optional[float] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         level_by_name(self.lod_cap)  # raises on unknown tiers
         if self.snapshot_decimation < 1:
             raise ValueError("decimation must be >= 1")

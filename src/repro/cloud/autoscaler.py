@@ -252,9 +252,9 @@ class AutoscalePlanner:
         cfg = self.config
         signals = sorted(signals, key=lambda s: s.site)
         live = {s.site for s in signals}
-        for stale in set(self._hot_streak) - live:
+        for stale in sorted(set(self._hot_streak) - live):
             del self._hot_streak[stale]
-        for stale in set(self._cold_streak) - live:
+        for stale in sorted(set(self._cold_streak) - live):
             del self._cold_streak[stale]
         for s in signals:
             self._hot_streak[s.site] = (

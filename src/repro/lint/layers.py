@@ -1,0 +1,99 @@
+"""The checked-in import-layering contract (ARCH001).
+
+Each first-level package under ``repro`` declares the set of sibling
+packages it may import.  The table *is* the architecture document: the
+rule engine verifies it against the real import graph (including lazy,
+in-function imports), so an edge that isn't in the table fails CI
+rather than silently eroding the layering.
+
+Reading order, bottom to top::
+
+    simkit                          (deterministic DES kernel — imports nothing)
+    metrics                         (accumulate-only counters/gauges/trackers)
+    net  media  sensing  sickness  content          (domain substrates)
+    avatar -> render -> hci          edge  workload  (device & edge layers)
+    obs                             (tracing/SLO/flight — reads sync, never adapt)
+    sync <-> cloud                  (one layer: federation needs region plans,
+                                     the autoscaler actuates federation)
+    adapt                           (closed-loop control over obs + knobs)
+    baselines  core                 (composition roots)
+    lint                            (this tool — stdlib only, imports nothing)
+
+Two foundations — ``simkit`` and ``metrics`` — are importable from
+everywhere, which keeps the table about *architecture* rather than
+plumbing.  The headline invariants from the replay contract:
+
+* ``simkit`` imports **no** ``repro.*`` package above it;
+* ``net`` / ``media`` never import ``sync`` / ``cloud`` / ``adapt``;
+* ``obs`` never imports ``adapt`` (the judgment layer must not depend
+  on the control loop it feeds).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+#: Packages importable from any layer (the deterministic kernel and the
+#: accumulate-only metrics substrate).
+FOUNDATION: FrozenSet[str] = frozenset({"simkit", "metrics"})
+
+#: package -> sibling repro packages it may import (beyond FOUNDATION
+#: and itself).  Absence from the value set means the import is an
+#: ARCH001 violation.
+LAYER_TABLE: Dict[str, FrozenSet[str]] = {
+    "simkit": frozenset(),          # the kernel imports nothing, ever
+    "metrics": frozenset(),
+    "net": frozenset(),
+    "media": frozenset(),
+    "sensing": frozenset(),
+    "sickness": frozenset(),
+    "content": frozenset(),
+    "avatar": frozenset({"sensing"}),
+    "render": frozenset({"avatar", "sensing"}),
+    "hci": frozenset({"avatar", "render"}),
+    "edge": frozenset({"avatar", "net", "sensing"}),
+    "workload": frozenset({"net", "sensing"}),
+    "obs": frozenset({"avatar", "net", "render", "sensing", "sickness",
+                      "sync"}),
+    # sync <-> cloud are mutually dependent by design: federation places
+    # shards on RegionalPlan sites; the autoscaler actuates federation.
+    # They form one layer; the pair is allowed explicitly.
+    "sync": frozenset({"avatar", "cloud", "net", "obs", "sensing"}),
+    "cloud": frozenset({"avatar", "net", "obs", "sensing", "sync",
+                        "workload"}),
+    "adapt": frozenset({"avatar", "media", "net", "obs", "render",
+                        "sickness", "sync"}),
+    "baselines": frozenset({"avatar", "hci", "media", "render",
+                            "sickness"}),
+    "core": frozenset({"avatar", "baselines", "cloud", "content", "edge",
+                       "hci", "media", "net", "obs", "render", "sensing",
+                       "sickness", "sync", "workload"}),
+    "lint": frozenset(),            # stdlib-only by contract
+}
+
+
+def package_of(module: str) -> Optional[str]:
+    """First-level ``repro`` package of a dotted module name, if any."""
+    parts = module.split(".")
+    if len(parts) >= 2 and parts[0] == "repro":
+        return parts[1]
+    return None
+
+
+def allowed_import(source_pkg: str, target_pkg: str) -> bool:
+    """May ``repro.<source_pkg>`` import from ``repro.<target_pkg>``?
+
+    Unknown source packages are permissive (a new package should be
+    added to the table, but that is a review conversation, not a CI
+    failure on every import it makes).
+    """
+    if source_pkg == target_pkg:
+        return True
+    # The FOUNDATION shortcut never applies to the two bottom packages:
+    # simkit and lint import nothing from repro at all.
+    if target_pkg in FOUNDATION and source_pkg not in ("simkit", "lint"):
+        return True
+    allowed = LAYER_TABLE.get(source_pkg)
+    if allowed is None:
+        return True
+    return target_pkg in allowed

@@ -20,6 +20,19 @@ import itertools
 from collections import deque
 from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
+# The context value object and the whole no-op path live in the kernel
+# (repro.simkit.spans) so Simulator never imports upward into obs; they
+# are re-exported here because this module is their public home.
+from repro.simkit.spans import (
+    NOOP_CONTEXT,
+    NOOP_SPAN,
+    NOOP_TRACER,
+    NoopTracer,
+    SpanContext,
+    _NoopSpan,
+    register_tracer_factory,
+)
+
 
 #: Canonical stage taxonomy of the motion-to-photon budget, in pipeline
 #: order.  Reports group spans by these names; components are free to add
@@ -36,21 +49,6 @@ MTP_STAGES = (
     "render",         # device frame render
     "vsync",          # wait for the next display refresh
 )
-
-
-class SpanContext:
-    """Immutable identity of one span: ``(trace_id, span_id, parent_id)``."""
-
-    __slots__ = ("trace_id", "span_id", "parent_id")
-
-    def __init__(self, trace_id: int, span_id: int, parent_id: Optional[int]):
-        self.trace_id = trace_id
-        self.span_id = span_id
-        self.parent_id = parent_id
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"SpanContext(trace={self.trace_id}, span={self.span_id}, "
-                f"parent={self.parent_id})")
 
 
 class Span:
@@ -222,81 +220,10 @@ class SpanTracer:
         self._finished_total = 0
 
 
-class _NoopSpan:
-    """The shared do-nothing span returned on every disabled-path call."""
-
-    __slots__ = ()
-
-    name = "noop"
-    stage = "noop"
-    start = 0.0
-    end = 0.0
-    duration = 0.0
-    attrs: Dict[str, Any] = {}
-
-    @property
-    def context(self) -> SpanContext:
-        return NOOP_CONTEXT
-
-    @property
-    def trace_id(self) -> int:
-        return 0
-
-    def finish(self, end: Optional[float] = None, **attrs: Any) -> "_NoopSpan":
-        return self
-
-
-class NoopTracer:
-    """API-compatible tracer that allocates nothing and records nothing.
-
-    Every span-returning call hands back the module-level
-    :data:`NOOP_SPAN` singleton, so instrumentation can run unguarded;
-    hot paths should still branch on :attr:`enabled` to skip building
-    keyword arguments.
-    """
-
-    enabled = False
-    limit = 0
-    dropped = 0
-    finished_total = 0
-    open_spans = 0
-
-    __slots__ = ()
-
-    def now(self) -> float:
-        return 0.0
-
-    def start_trace(self, name: str, stage: str = "trace",
-                    start: Optional[float] = None, **attrs: Any) -> _NoopSpan:
-        return NOOP_SPAN
-
-    def start_span(self, name: str, stage: str, parent: ParentLike,
-                   start: Optional[float] = None, **attrs: Any) -> _NoopSpan:
-        return NOOP_SPAN
-
-    def record_span(self, name: str, stage: str, start: float, end: float,
-                    parent: ParentLike = None, **attrs: Any) -> _NoopSpan:
-        return NOOP_SPAN
-
-    def spans(self, stage: Optional[str] = None) -> List[Span]:
-        return []
-
-    def traces(self) -> Dict[int, List[Span]]:
-        return {}
-
-    def clear(self) -> None:
-        pass
-
-    def __len__(self) -> int:
-        return 0
-
-
-#: Shared no-op context (trace id 0 is reserved and never issued).
-NOOP_CONTEXT = SpanContext(0, 0, None)
-#: Shared no-op span — the only span the disabled path ever returns.
-NOOP_SPAN = _NoopSpan()
-#: Shared no-op tracer — ``Simulator.obs`` when tracing is off.
-NOOP_TRACER = NoopTracer()
+# ``Simulator(obs=True)`` builds its tracer through this hook; the
+# registration runs on import of this module, which every path through
+# the public ``repro`` package reaches before a Simulator can exist.
+register_tracer_factory(lambda clock: SpanTracer(clock=clock))
 
 
 def stage_durations(spans: Iterable[Span]) -> Dict[str, float]:

@@ -29,7 +29,8 @@ class VirtualClock:
         are typically within +/-50 ppm.
     """
 
-    def __init__(self, sim: "Simulator", offset: float = 0.0, drift_ppm: float = 0.0):
+    def __init__(self, sim: "Simulator", offset: float = 0.0,
+                 drift_ppm: float = 0.0) -> None:
         self.sim = sim
         self._offset = float(offset)
         self._drift = float(drift_ppm) * 1e-6

@@ -4,12 +4,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.simkit.errors import SimkitError
 from repro.simkit.event import AllOf, AnyOf, Event, Timeout
 from repro.simkit.process import Process
 from repro.simkit.rng import RngRegistry
+from repro.simkit.spans import NOOP_TRACER, make_tracer
 from repro.simkit.trace import Tracer
 
 
@@ -43,21 +44,22 @@ class Simulator:
     #: Priority for urgent bookkeeping (runs before normal events at a time).
     PRIORITY_URGENT = 0
 
-    def __init__(self, seed: int = 0, trace: bool = False, obs=None):
+    def __init__(self, seed: int = 0, trace: bool = False,
+                 obs: Any = None) -> None:
         self._now = 0.0
         self._queue: list = []
         self._sequence = itertools.count()
         self.rng = RngRegistry(seed)
         self.tracer = Tracer(self) if trace else None
         self._active_process: Optional[Process] = None
-        # Imported lazily so the simulation kernel has no import-time
-        # dependency on the (higher-level) observability package.
+        # The kernel never imports the (higher-level) observability
+        # package: the no-op path lives in simkit.spans and the real
+        # tracer arrives through a factory repro.obs.span registers on
+        # import (ARCH001: simkit imports nothing above itself).
         if obs is None or obs is False:
-            from repro.obs.span import NOOP_TRACER
             self.obs = NOOP_TRACER
         elif obs is True:
-            from repro.obs.span import SpanTracer
-            self.obs = SpanTracer(clock=lambda: self._now)
+            self.obs = make_tracer(lambda: self._now)
         else:
             self.obs = obs
 
@@ -87,10 +89,10 @@ class Simulator:
         """Run ``generator`` as a cooperative process."""
         return Process(self, generator)
 
-    def any_of(self, events) -> AnyOf:
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
-    def all_of(self, events) -> AllOf:
+    def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
     def call_at(self, when: float, func: Callable[[], None]) -> Event:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Any
+
 
 class SimkitError(Exception):
     """Base class for all kernel-level errors."""
@@ -15,7 +17,7 @@ class StopProcess(Exception):
     deep without threading a sentinel back up.
     """
 
-    def __init__(self, value=None):
+    def __init__(self, value: Any = None) -> None:
         super().__init__(value)
         self.value = value
 
@@ -27,6 +29,6 @@ class Interrupt(Exception):
     :meth:`repro.simkit.process.Process.interrupt`.
     """
 
-    def __init__(self, cause=None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause

@@ -23,7 +23,7 @@ class Event:
     TRIGGERED = "triggered"
     PROCESSED = "processed"
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = None
@@ -110,7 +110,8 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically ``delay`` seconds in the future."""
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(self, sim: "Simulator", delay: float,
+                 value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
         super().__init__(sim)
@@ -126,7 +127,7 @@ class Timeout(Event):
 class _Condition(Event):
     """Shared machinery for :class:`AnyOf` and :class:`AllOf`."""
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         self.events = list(events)
         self._pending = 0

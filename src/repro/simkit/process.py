@@ -20,7 +20,7 @@ class Process(Event):
     other and compose with ``AnyOf`` / ``AllOf``.
     """
 
-    def __init__(self, sim: "Simulator", generator: Generator):
+    def __init__(self, sim: "Simulator", generator: Generator) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"not a generator: {generator!r}")
         super().__init__(sim)

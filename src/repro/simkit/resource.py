@@ -15,7 +15,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class _Request(Event):
     """Grant event returned by :meth:`Resource.request`."""
 
-    def __init__(self, resource: "Resource"):
+    def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.sim)
         self.resource = resource
 
@@ -33,7 +33,7 @@ class Resource:
             resource.release(req)
     """
 
-    def __init__(self, sim: "Simulator", capacity: int = 1):
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
@@ -82,7 +82,7 @@ class _StoreGet(Event):
 
 
 class _StorePut(Event):
-    def __init__(self, sim: "Simulator", item: Any):
+    def __init__(self, sim: "Simulator", item: Any) -> None:
         super().__init__(sim)
         self.item = item
 
@@ -94,7 +94,8 @@ class Store:
     ``get()`` returns an event that fires with the next item.
     """
 
-    def __init__(self, sim: "Simulator", capacity: Optional[int] = None):
+    def __init__(self, sim: "Simulator",
+                 capacity: Optional[int] = None) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
         self.sim = sim

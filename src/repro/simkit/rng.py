@@ -17,7 +17,7 @@ import numpy as np
 class RngRegistry:
     """Factory and cache of named :class:`numpy.random.Generator` streams."""
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}
 

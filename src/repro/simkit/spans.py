@@ -1,0 +1,147 @@
+"""The kernel-side span API: context identity, no-op path, tracer hook.
+
+The simulator core needs exactly three things from tracing: a context
+value object it can thread through payloads, a zero-allocation no-op
+tracer to install by default, and a way to build a *real* tracer when
+``Simulator(obs=True)`` asks for one.  All three live here so the kernel
+never imports the (higher-level) :mod:`repro.obs` package — the layer
+contract says ``simkit`` imports nothing from ``repro.*`` above it, and
+``replint`` ARCH001 enforces that statically.
+
+The real :class:`~repro.obs.span.SpanTracer` registers itself through
+:func:`register_tracer_factory` when :mod:`repro.obs.span` is imported
+(a *downward* registration: obs already depends on simkit).  Importing
+any part of the ``repro`` package reaches ``repro.obs`` transitively, so
+the factory is installed before user code can construct a simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+
+class SpanContext:
+    """Immutable identity of one span: ``(trace_id, span_id, parent_id)``."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id")
+
+    def __init__(self, trace_id: int, span_id: int,
+                 parent_id: Optional[int]) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SpanContext(trace={self.trace_id}, span={self.span_id}, "
+                f"parent={self.parent_id})")
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned on every disabled-path call."""
+
+    __slots__ = ()
+
+    name = "noop"
+    stage = "noop"
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+    attrs: Dict[str, Any] = {}
+
+    @property
+    def context(self) -> SpanContext:
+        return NOOP_CONTEXT
+
+    @property
+    def trace_id(self) -> int:
+        return 0
+
+    def finish(self, end: Optional[float] = None,
+               **attrs: Any) -> "_NoopSpan":
+        return self
+
+
+class NoopTracer:
+    """API-compatible tracer that allocates nothing and records nothing.
+
+    Every span-returning call hands back the module-level
+    :data:`NOOP_SPAN` singleton, so instrumentation can run unguarded;
+    hot paths should still branch on :attr:`enabled` to skip building
+    keyword arguments.
+    """
+
+    enabled = False
+    limit = 0
+    dropped = 0
+    finished_total = 0
+    open_spans = 0
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return 0.0
+
+    def start_trace(self, name: str, stage: str = "trace",
+                    start: Optional[float] = None,
+                    **attrs: Any) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def start_span(self, name: str, stage: str, parent: Any,
+                   start: Optional[float] = None,
+                   **attrs: Any) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def record_span(self, name: str, stage: str, start: float, end: float,
+                    parent: Any = None, **attrs: Any) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def spans(self, stage: Optional[str] = None) -> List[Any]:
+        return []
+
+    def traces(self) -> Dict[int, List[Any]]:
+        return {}
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared no-op context (trace id 0 is reserved and never issued).
+NOOP_CONTEXT = SpanContext(0, 0, None)
+#: Shared no-op span — the only span the disabled path ever returns.
+NOOP_SPAN = _NoopSpan()
+#: Shared no-op tracer — ``Simulator.obs`` when tracing is off.
+NOOP_TRACER = NoopTracer()
+
+
+#: Builds a real tracer from a clock callable; installed by
+#: :mod:`repro.obs.span` at import time.
+_TRACER_FACTORY: Optional[Callable[[Callable[[], float]], Any]] = None
+
+
+def register_tracer_factory(
+        factory: Callable[[Callable[[], float]], Any]) -> None:
+    """Install the ``clock -> tracer`` factory ``Simulator(obs=True)`` uses.
+
+    Called once by ``repro.obs.span`` when it is imported.  Idempotent:
+    re-registration simply replaces the factory.
+    """
+    global _TRACER_FACTORY
+    _TRACER_FACTORY = factory
+
+
+def make_tracer(clock: Callable[[], float]) -> Any:
+    """A real span tracer stamped by ``clock``.
+
+    Raises :class:`RuntimeError` when no factory has been registered —
+    i.e. ``repro.obs.span`` was never imported, which cannot happen
+    through the public ``repro`` package but can in a surgically
+    stripped-down embedding.
+    """
+    if _TRACER_FACTORY is None:
+        raise RuntimeError(
+            "no span-tracer factory registered: import repro.obs.span "
+            "before constructing Simulator(obs=True)")
+    return _TRACER_FACTORY(clock)

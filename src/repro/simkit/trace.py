@@ -33,7 +33,7 @@ class Tracer:
     oldest in O(1) instead of the O(n) front-trim a list would need.
     """
 
-    def __init__(self, sim: "Simulator", limit: int = 100_000):
+    def __init__(self, sim: "Simulator", limit: int = 100_000) -> None:
         if limit < 1:
             raise ValueError(f"limit must be >= 1, got {limit}")
         self.sim = sim

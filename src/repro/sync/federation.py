@@ -697,7 +697,10 @@ class ShardedSyncService:
             raise ValueError("every site is excluded or crashed")
         new_plan = plan_regions(
             self.population, k=len(survivors), model=self.model,
-            candidates=list(self.shards), exclude=tuple(excluded),
+            # sorted(): excluded is a set; its salted order must not
+            # leak into the plan (the exclude tuple rides into
+            # RegionalPlan params and seeded-replay comparisons).
+            candidates=list(self.shards), exclude=tuple(sorted(excluded)),
         )
         self.adopt_plan(new_plan)
         for user_id, site in new_plan.assignment.items():

@@ -483,7 +483,10 @@ class SyncServer:
                     ready_at = now + compute_share + \
                         self.cost_model.per_state_sent * len(states)
                     snapshot.trace = {}
-                    for entity_id in included:
+                    # sorted(): `included` is a set; span/trace-map
+                    # order must be stable for byte-identical trace
+                    # replay across interpreter runs.
+                    for entity_id in sorted(included):
                         ctx, _ingested_at = traced[entity_id]
                         snapshot.trace[entity_id] = (ctx, ready_at)
                         if entity_id not in spanned:
@@ -592,7 +595,10 @@ class SyncServer:
                     ready_at = now + compute_share + \
                         self.cost_model.per_state_sent * len(states)
                     snapshot.trace = {}
-                    for entity_id in included:
+                    # sorted(): `included` is a set; span/trace-map
+                    # order must be stable for byte-identical trace
+                    # replay across interpreter runs.
+                    for entity_id in sorted(included):
                         ctx, _ingested_at = traced[entity_id]
                         snapshot.trace[entity_id] = (ctx, ready_at)
                         if entity_id not in spanned:
